@@ -1,0 +1,194 @@
+//! Undecided-state dynamics (USD) for `k` opinions.
+//!
+//! The classic opinion dynamics behind approximate plurality consensus
+//! (cf. \[7\] and its predecessors): an opinionated agent meeting a
+//! *different* opinion blanks its partner; a blank agent adopts the opinion
+//! it next encounters. Consensus is reached quickly, but on close inputs the
+//! winner is essentially a (support-weighted) lottery — USD solves
+//! *approximate*, never *exact*, plurality.
+
+use pp_engine::{Protocol, SimRng};
+
+/// USD agent: 0 = undecided, `1..=k` = opinion.
+pub type UsdAgent = u16;
+
+/// The k-opinion undecided-state dynamics.
+#[derive(Debug, Clone, Default)]
+pub struct Usd;
+
+impl Usd {
+    /// Initial states straight from per-agent opinions (1-based).
+    pub fn initial_states(opinions: &[u16]) -> Vec<UsdAgent> {
+        assert!(opinions.iter().all(|&o| o >= 1), "opinions are 1-based");
+        opinions.to_vec()
+    }
+}
+
+impl Protocol for Usd {
+    type State = UsdAgent;
+
+    #[inline]
+    fn interact(&mut self, _t: u64, a: &mut u16, b: &mut u16, _rng: &mut SimRng) {
+        match (*a, *b) {
+            (0, 0) => {}
+            (x, 0) => *b = x,
+            (0, y) => *a = y,
+            (x, y) if x != y => *b = 0,
+            _ => {}
+        }
+    }
+
+    fn converged(&self, states: &[u16]) -> Option<u32> {
+        let first = states[0];
+        (first != 0 && states.iter().all(|&s| s == first)).then(|| u32::from(first))
+    }
+
+    fn encode(&self, state: &u16) -> u64 {
+        u64::from(*state)
+    }
+}
+
+/// USD over a fixed opinion count `k`, as a deterministic transition table
+/// for the batched configuration-space engine: state 0 is undecided,
+/// states `1..=k` are the opinions.
+#[derive(Debug, Clone)]
+pub struct UsdTable {
+    k: usize,
+}
+
+impl UsdTable {
+    /// A table for `k` opinions.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self { k }
+    }
+
+    /// Initial configuration from a support vector (`supports[i]` agents
+    /// hold opinion `i + 1`).
+    pub fn initial_counts(&self, supports: &[usize]) -> Vec<u64> {
+        assert_eq!(supports.len(), self.k);
+        let mut counts = vec![0u64; self.k + 1];
+        for (i, &s) in supports.iter().enumerate() {
+            counts[i + 1] = s as u64;
+        }
+        counts
+    }
+}
+
+impl pp_engine::TableProtocol for UsdTable {
+    fn states(&self) -> usize {
+        self.k + 1
+    }
+
+    fn delta(&self, a: usize, b: usize) -> (usize, usize) {
+        match (a, b) {
+            (0, 0) => (0, 0),
+            (x, 0) => (x, x),
+            (0, y) => (y, y),
+            (x, y) if x != y => (x, 0),
+            same => same,
+        }
+    }
+
+    fn output(&self, counts: &[u64]) -> Option<u32> {
+        if counts[0] != 0 {
+            return None;
+        }
+        let mut winner = None;
+        for (s, &c) in counts.iter().enumerate().skip(1) {
+            if c > 0 {
+                if winner.is_some() {
+                    return None;
+                }
+                winner = Some(s as u32);
+            }
+        }
+        winner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::{BatchSimulation, RunOptions, RunStatus, Simulation, TableProtocol};
+    use pp_workloads::Counts;
+
+    #[test]
+    fn overwhelming_plurality_wins() {
+        let counts = Counts::from_supports(vec![3000, 500, 500]);
+        let a = counts.assignment();
+        let states = Usd::initial_states(a.opinions());
+        let mut sim = Simulation::new(Usd, states, 3);
+        let r = sim.run(&RunOptions::with_parallel_time_budget(a.n(), 10_000.0));
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(1));
+    }
+
+    #[test]
+    fn consensus_is_fast() {
+        let counts = Counts::from_supports(vec![6000, 1000, 1000]);
+        let a = counts.assignment();
+        let states = Usd::initial_states(a.opinions());
+        let mut sim = Simulation::new(Usd, states, 5);
+        let r = sim.run(&RunOptions::with_parallel_time_budget(a.n(), 10_000.0));
+        assert_eq!(r.status, RunStatus::Converged);
+        assert!(r.parallel_time < 20.0 * (a.n() as f64).ln(), "time {}", r.parallel_time);
+    }
+
+    #[test]
+    fn bias_one_fails_often() {
+        // The paper's motivation: USD is *approximate* — at bias 1 the
+        // plurality opinion loses a non-trivial fraction of runs.
+        let n = 400;
+        let counts = Counts::bias_one(n, 2);
+        let a = counts.assignment();
+        let mut wrong = 0;
+        let trials = 40;
+        for seed in 0..trials {
+            let states = Usd::initial_states(a.opinions());
+            let mut sim = Simulation::new(Usd, states, seed);
+            let r = sim.run(&RunOptions::with_parallel_time_budget(n, 50_000.0));
+            if r.status == RunStatus::Converged && r.output != Some(1) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 5, "USD should fail regularly at bias 1, failed {wrong}/{trials}");
+    }
+
+    #[test]
+    fn table_form_matches_agent_form() {
+        let mut p = Usd;
+        let t = UsdTable::new(4);
+        let mut rng = <SimRng as rand::SeedableRng>::seed_from_u64(9);
+        for a in 0u16..5 {
+            for b in 0u16..5 {
+                let (mut x, mut y) = (a, b);
+                p.interact(0, &mut x, &mut y, &mut rng);
+                let (tx, ty) = t.delta(usize::from(a), usize::from(b));
+                assert_eq!((usize::from(x), usize::from(y)), (tx, ty), "mismatch at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn million_agent_usd_with_large_bias() {
+        let t = UsdTable::new(3);
+        let counts = t.initial_counts(&[600_000, 250_000, 150_000]);
+        let mut sim = BatchSimulation::new(t, counts, 21);
+        let r = sim.run(&RunOptions { max_interactions: 300_000_000, check_every: 0 });
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(1));
+    }
+
+    #[test]
+    fn undecided_agents_adopt() {
+        let mut p = Usd;
+        let mut rng = <SimRng as rand::SeedableRng>::seed_from_u64(1);
+        let (mut a, mut b) = (0u16, 4u16);
+        p.interact(0, &mut a, &mut b, &mut rng);
+        assert_eq!((a, b), (4, 4));
+        let (mut a, mut b) = (2u16, 3u16);
+        p.interact(0, &mut a, &mut b, &mut rng);
+        assert_eq!((a, b), (2, 0));
+    }
+}

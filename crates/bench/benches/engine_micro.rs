@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks: raw interaction throughput of the engine
+//! and of each protocol's transition function.
+//!
+//! These are *performance* benchmarks (interactions per second), not
+//! reproduction experiments; the paper's tables live in the `x*` binaries
+//! and the `paper_experiments` bench.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use plurality_core::{ImprovedAlgorithm, SimpleAlgorithm, Tuning, UnorderedAlgorithm};
+use pp_baselines::Usd;
+use pp_dynamics::{Epidemic, LoadBalance};
+use pp_engine::{Protocol, Simulation};
+use pp_majority::cancel_split::CancelSplitRun;
+use pp_workloads::Counts;
+
+const STEPS: u64 = 100_000;
+
+fn bench_steps<P: Protocol>(c: &mut Criterion, name: &str, make: impl Fn() -> (P, Vec<P::State>)) {
+    let mut group = c.benchmark_group("interactions");
+    group.throughput(Throughput::Elements(STEPS));
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            || {
+                let (proto, states) = make();
+                Simulation::new(proto, states, 42)
+            },
+            |mut sim| {
+                for _ in 0..STEPS {
+                    sim.step();
+                }
+                sim
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let n = 10_000;
+
+    bench_steps(c, "epidemic", || (Epidemic, Epidemic::initial_states(n, 1)));
+    bench_steps(c, "load_balance", || {
+        let mut states = vec![0i64; n];
+        states[0] = n as i64;
+        (LoadBalance, states)
+    });
+    bench_steps(c, "usd_k8", || {
+        let counts = Counts::bias_one(n, 8);
+        (Usd, Usd::initial_states(counts.assignment().opinions()))
+    });
+    bench_steps(c, "cancel_split", || CancelSplitRun::new(n / 2 + 1, n / 2 - 1, 0, 12));
+    bench_steps(c, "simple_k8", || {
+        let counts = Counts::bias_one(n, 8);
+        SimpleAlgorithm::new(&counts.assignment(), Tuning::default())
+    });
+    bench_steps(c, "unordered_k8", || {
+        let counts = Counts::bias_one(n, 8);
+        UnorderedAlgorithm::new(&counts.assignment(), Tuning::default())
+    });
+    bench_steps(c, "improved_k8", || {
+        let counts = Counts::bias_one(n, 8);
+        ImprovedAlgorithm::new(&counts.assignment(), Tuning::default())
+    });
+}
+
+criterion_group!(micro, benches);
+criterion_main!(micro);

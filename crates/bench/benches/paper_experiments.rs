@@ -1,0 +1,65 @@
+//! `cargo bench` driver that regenerates every paper table/figure in a
+//! reduced "smoke" configuration (3 trials, default grids).
+//!
+//! Full-resolution tables: run the individual binaries, e.g.
+//! `cargo run --release -p plurality-bench --bin x03_exactness -- --full --trials 50`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "x01_simple_scaling",
+    "x02_state_census",
+    "x03_exactness",
+    "x04_unordered_scaling",
+    "x05_improved_speedup",
+    "x07_init",
+    "x08_clocks",
+    "x09_pruning",
+    "x10_majority",
+    "x11_leader",
+    "x12_dynamics",
+    "x13_usd_comparison",
+    "x14_ablations",
+    "x15_large_k",
+    "x16_trajectories",
+];
+
+fn main() {
+    // Under `cargo bench` extra args like `--bench` may be passed; ignore
+    // everything — this driver always runs the smoke configuration.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let trials = std::env::var("PAPER_BENCH_TRIALS").unwrap_or_else(|_| "3".into());
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n################ {exp} (trials = {trials}) ################");
+        let status = Command::new(&cargo)
+            .args([
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "plurality-bench",
+                "--bin",
+                exp,
+                "--",
+                "--trials",
+                &trials,
+            ])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failed.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("{exp} failed to launch: {e}");
+                failed.push(*exp);
+            }
+        }
+    }
+    if !failed.is_empty() {
+        panic!("experiments failed: {failed:?}");
+    }
+    println!("\nall paper experiments regenerated (smoke configuration)");
+}

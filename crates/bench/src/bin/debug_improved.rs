@@ -1,0 +1,38 @@
+//! Developer trace harness for the improved algorithm (not an experiment).
+use plurality_core::roles::Role;
+use plurality_core::{ImprovedAlgorithm, Tuning};
+use pp_engine::{RunOptions, Simulation};
+use pp_workloads::Counts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1800);
+    let k: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let counts = Counts::bias_one(n, k);
+    let assignment = counts.assignment();
+    let (proto, states) = ImprovedAlgorithm::new(&assignment, Tuning::default());
+    let mut sim = Simulation::new(proto, states, seed);
+    let mut next = 0u64;
+    let r = sim.run_observed(
+        &RunOptions::with_parallel_time_budget(n, 1.5e6),
+        |t, states| {
+            if t >= next {
+                let mut phases = std::collections::BTreeMap::new();
+                let mut winners = 0;
+                let mut fin = 0;
+                let mut le = 0;
+                for s in states {
+                    *phases.entry(s.phase).or_insert(0usize) += 1;
+                    winners += usize::from(s.is_winner());
+                    fin += usize::from(s.fin);
+                    le += usize::from(s.le_done);
+                }
+                let collectors = states.iter().filter(|s| matches!(s.role, Role::Collector(_))).count();
+                println!("t={:>9.0} phases={phases:?} coll={collectors} le={le} fin={fin} win={winners}", t as f64 / n as f64);
+                next = t + (n as u64) * 500;
+            }
+        },
+    );
+    println!("result: {r:?}\nmilestones: {:?}", sim.protocol().milestones());
+}

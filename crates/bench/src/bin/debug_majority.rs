@@ -1,0 +1,20 @@
+//! Developer probe: cancel/split failure rate at bias 1 (not an experiment).
+use pp_engine::{RunOptions, Simulation};
+use pp_majority::cancel_split::CancelSplitRun;
+
+fn main() {
+    for n_half in [500usize, 1000, 4000] {
+        for window in [8u32, 12, 16, 24] {
+            let mut wrong = 0;
+            let trials = 30;
+            for seed in 0..trials {
+                let (proto, states) = CancelSplitRun::new(n_half + 1, n_half, 0, window);
+                let n = states.len();
+                let mut sim = Simulation::new(proto, states, seed);
+                let r = sim.run(&RunOptions::with_parallel_time_budget(n, 100_000.0));
+                if r.output != Some(1) { wrong += 1; }
+            }
+            println!("n={} window={window}: {wrong}/{trials} wrong", 2*n_half+1);
+        }
+    }
+}

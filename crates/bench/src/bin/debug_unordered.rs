@@ -1,0 +1,80 @@
+//! Developer trace harness for the unordered algorithm (not an experiment).
+
+use plurality_core::roles::{Agent, Role, SlotKind};
+use plurality_core::{Tuning, UnorderedAlgorithm};
+use pp_engine::{RunOptions, Simulation};
+use pp_workloads::Counts;
+
+fn snapshot(t: u64, n: usize, states: &[Agent]) -> String {
+    let mut phases = std::collections::BTreeMap::new();
+    let mut defenders = std::collections::BTreeMap::new();
+    let mut challengers = std::collections::BTreeMap::new();
+    let mut winners = std::collections::BTreeMap::new();
+    let mut slots = std::collections::BTreeMap::new();
+    let mut players = [0usize; 3];
+    let mut fin = 0;
+    for s in states {
+        *phases.entry(s.phase).or_insert(0usize) += 1;
+        fin += usize::from(s.fin);
+        match &s.role {
+            Role::Collector(c) => {
+                if c.defender {
+                    *defenders.entry(c.opinion).or_insert(0usize) += 1;
+                }
+                if c.challenger {
+                    *challengers.entry(c.opinion).or_insert(0usize) += 1;
+                }
+                if c.winner {
+                    *winners.entry(c.opinion).or_insert(0usize) += 1;
+                }
+            }
+            Role::Tracker(tr) => {
+                if tr.slot_kind != SlotKind::Empty {
+                    *slots.entry((tr.slot_kind as u8, tr.slot_op)).or_insert(0usize) += 1;
+                }
+            }
+            Role::Player(pl) => match pl.po {
+                pp_majority::Verdict::A => players[0] += 1,
+                pp_majority::Verdict::B => players[1] += 1,
+                pp_majority::Verdict::Tie => players[2] += 1,
+            },
+            _ => {}
+        }
+    }
+    let phase_mode = phases.iter().max_by_key(|(_, &c)| c).map(|(&p, _)| p).unwrap_or(-9);
+    format!(
+        "t={:>7.0} ph={phase_mode} def={defenders:?} chal={challengers:?} A/B/U={players:?} fin={fin} win={winners:?}",
+        t as f64 / n as f64
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let k: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let counts = Counts::bias_one(n, k);
+    let assignment = counts.assignment();
+    eprintln!("supports: {:?} plurality {}", counts.supports(), assignment.plurality());
+    let (proto, states) = UnorderedAlgorithm::new(&assignment, Tuning::default());
+    let mut sim = Simulation::new(proto, states, seed);
+    let mut next_report = 0u64;
+    let mut last = String::new();
+    let r = sim.run_observed(
+        &RunOptions::with_parallel_time_budget(n, 50_000.0),
+        |t, states| {
+            if t >= next_report {
+                let line = snapshot(t, n, states);
+                // Only print when the interesting content changed.
+                let key: String = line.splitn(2, ' ').nth(1).unwrap_or("").to_string();
+                if key != last {
+                    println!("{line}");
+                    last = key;
+                }
+                next_report = t + (n as u64) * 50;
+            }
+        },
+    );
+    println!("result: {r:?} milestones: {:?}", sim.protocol().milestones());
+    println!("expected plurality: {}", assignment.plurality());
+}

@@ -1,0 +1,12 @@
+//! Shared experiment-harness utilities.
+//!
+//! Every experiment binary (`x01`–`x15`) uses this crate for CLI options,
+//! parallel trial execution and result recording. Experiments print the
+//! table they regenerate (the rows recorded in `EXPERIMENTS.md`) and write
+//! the same rows as CSV under `results/`.
+
+pub mod harness;
+pub mod protocols;
+
+pub use harness::ExpOpts;
+pub use protocols::{run_trial, Algo, TrialOutcome};

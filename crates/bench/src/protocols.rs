@@ -1,0 +1,113 @@
+//! Uniform driver for the three plurality protocols (and shared outcome
+//! bookkeeping).
+
+use plurality_core::{ImprovedAlgorithm, SimpleAlgorithm, Tuning, UnorderedAlgorithm};
+use pp_engine::{Census, RunOptions, RunStatus, Simulation};
+use pp_workloads::Counts;
+
+/// Which protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// `SimpleAlgorithm` (ordered opinions).
+    Simple,
+    /// The Appendix B unordered variant.
+    Unordered,
+    /// `ImprovedAlgorithm` (pruning).
+    Improved,
+}
+
+impl Algo {
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Simple => "simple",
+            Algo::Unordered => "unordered",
+            Algo::Improved => "improved",
+        }
+    }
+}
+
+/// Outcome of a single trial.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// The run converged (someone won and everyone agreed).
+    pub converged: bool,
+    /// The run converged *to the planted plurality*.
+    pub correct: bool,
+    /// Parallel time consumed (budget, if exhausted).
+    pub parallel_time: f64,
+    /// Interaction index at which the initialization ended, if recorded.
+    pub init_end: Option<u64>,
+    /// Interaction index of the leader/defender release, if recorded.
+    pub le_done: Option<u64>,
+    /// Distinct states visited (only when census tracking was requested).
+    pub census: Option<usize>,
+}
+
+/// Run one trial of `algo` on `counts` with the given seed, parallel-time
+/// budget and tuning. Set `census` to collect the distinct-state count
+/// (slower).
+pub fn run_trial(
+    algo: Algo,
+    counts: &Counts,
+    seed: u64,
+    budget: f64,
+    tuning: Tuning,
+    census: bool,
+) -> TrialOutcome {
+    let assignment = counts.assignment();
+    let n = assignment.n();
+    let expected = assignment.plurality();
+    let opts = RunOptions::with_parallel_time_budget(n, budget);
+
+    macro_rules! drive {
+        ($ctor:path) => {{
+            let (proto, states) = $ctor(&assignment, tuning);
+            let mut sim = Simulation::new(proto, states, seed);
+            let (result, census_len) = if census {
+                let mut c = Census::new();
+                let r = sim.run_with_census(&opts, &mut c);
+                (r, Some(c.len()))
+            } else {
+                (sim.run(&opts), None)
+            };
+            let ms = *sim.protocol().milestones();
+            TrialOutcome {
+                converged: result.status == RunStatus::Converged,
+                correct: result.is_correct(expected),
+                parallel_time: result.parallel_time,
+                init_end: ms.init_end,
+                le_done: ms.le_done,
+                census: census_len,
+            }
+        }};
+    }
+
+    match algo {
+        Algo::Simple => drive!(SimpleAlgorithm::new),
+        Algo::Unordered => drive!(UnorderedAlgorithm::new),
+        Algo::Improved => drive!(ImprovedAlgorithm::new),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_protocols_drive() {
+        let counts = Counts::bias_one(401, 3);
+        for algo in [Algo::Simple, Algo::Unordered, Algo::Improved] {
+            let out = run_trial(algo, &counts, 7, 500_000.0, Tuning::default(), false);
+            assert!(out.converged, "{} did not converge", algo.name());
+        }
+    }
+
+    #[test]
+    fn census_is_collected_when_requested() {
+        let counts = Counts::bias_one(401, 3);
+        let out = run_trial(Algo::Simple, &counts, 3, 500_000.0, Tuning::default(), true);
+        let states = out.census.expect("census requested");
+        assert!(states > 10, "suspiciously few states: {states}");
+    }
+}

@@ -1,0 +1,198 @@
+//! The junta-driven phase clock of Berenbrink et al. \[11\].
+//!
+//! Every agent carries a counter `p` (initially 0). When a *junta* agent
+//! initiates an interaction it sets `p ← max(p, p_partner + 1)`; a non-junta
+//! initiator only pulls the max (`p ← max(p, p_partner)`). The counter's
+//! "hours" are blocks of `m` consecutive values: agent `u` *passes through
+//! zero for the i-th time* when `⌊p/m⌋ ≥ i` first holds. Hour boundaries are
+//! Θ(n log n)-interaction spaced and population-coherent (Lemma 6).
+//!
+//! The simulation stores `p` as a plain `u64`; a real deployment stores it
+//! modulo a constant multiple of `m` with circular comparison, which is how
+//! the census accounts it (see [`JuntaClock::encode_counter`]).
+
+use pp_engine::{Protocol, SimRng};
+
+use crate::junta::{FormJunta, JuntaState};
+
+/// The clock component: hour length `m` plus the max-propagation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JuntaClock {
+    hour_len: u32,
+}
+
+impl JuntaClock {
+    /// A clock whose hours are `hour_len` counter units long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour_len` is 0.
+    pub fn new(hour_len: u32) -> Self {
+        assert!(hour_len >= 1);
+        Self { hour_len }
+    }
+
+    /// Hour length `m`.
+    pub fn hour_len(&self) -> u32 {
+        self.hour_len
+    }
+
+    /// The hour containing counter value `p`.
+    #[inline]
+    pub fn hour(&self, p: u64) -> u64 {
+        p / u64::from(self.hour_len)
+    }
+
+    /// Initiator-side clock step; returns how many hour boundaries the
+    /// initiator crossed (0 in the common case).
+    #[inline]
+    pub fn interact(&self, a_is_junta: bool, a: &mut u64, b: u64) -> u64 {
+        let target = if a_is_junta { (*a).max(b + 1) } else { (*a).max(b) };
+        let crossed = self.hour(target) - self.hour(*a);
+        *a = target;
+        crossed
+    }
+
+    /// Census encoding of a counter: a real implementation keeps `p` modulo
+    /// `64·m` (with circular max), so distinct simulated values that agree
+    /// modulo that window are the same machine state.
+    pub fn encode_counter(&self, p: u64) -> u64 {
+        p % (64 * u64::from(self.hour_len))
+    }
+}
+
+/// Agent state of the standalone combined protocol: the junta race plus the
+/// clock counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JuntaClockAgent {
+    /// Junta-election state (the race runs concurrently with the clock; the
+    /// counter stays near 0 until the first junta member exists).
+    pub junta: JuntaState,
+    /// Clock counter `p`.
+    pub p: u64,
+}
+
+/// Standalone protocol: junta election + clock on a full population,
+/// recording the `s(i)` milestones (first agent to reach hour `i`).
+#[derive(Debug, Clone)]
+pub struct JuntaClockRun {
+    election: FormJunta,
+    clock: JuntaClock,
+    /// `first_hour_at[i]` = interaction at which the first agent reached
+    /// hour `i + 1`.
+    pub first_hour_at: Vec<u64>,
+}
+
+impl JuntaClockRun {
+    /// A standalone run over `n` agents.
+    pub fn new(n: usize, hour_len: u32) -> (Self, Vec<JuntaClockAgent>) {
+        (
+            Self {
+                election: FormJunta::for_population(n),
+                clock: JuntaClock::new(hour_len),
+                first_hour_at: Vec::new(),
+            },
+            vec![JuntaClockAgent::default(); n],
+        )
+    }
+
+    /// The clock component.
+    pub fn clock(&self) -> &JuntaClock {
+        &self.clock
+    }
+
+    /// The election component.
+    pub fn election(&self) -> &FormJunta {
+        &self.election
+    }
+}
+
+impl Protocol for JuntaClockRun {
+    type State = JuntaClockAgent;
+
+    fn interact(
+        &mut self,
+        t: u64,
+        a: &mut JuntaClockAgent,
+        b: &mut JuntaClockAgent,
+        _rng: &mut SimRng,
+    ) {
+        self.election.interact(&mut a.junta, &b.junta);
+        let is_junta = self.election.is_junta(&a.junta);
+        let before_hour = self.clock.hour(a.p);
+        self.clock.interact(is_junta, &mut a.p, b.p);
+        let after_hour = self.clock.hour(a.p);
+        if after_hour > before_hour {
+            while (self.first_hour_at.len() as u64) < after_hour {
+                self.first_hour_at.push(t);
+            }
+        }
+    }
+
+    fn converged(&self, _states: &[JuntaClockAgent]) -> Option<u32> {
+        None
+    }
+
+    fn encode(&self, state: &JuntaClockAgent) -> u64 {
+        let j = u64::from(state.junta.level) << 1 | u64::from(state.junta.active);
+        j << 16 | self.clock.encode_counter(state.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::{RunOptions, Simulation};
+
+    #[test]
+    fn hours_partition_the_counter() {
+        let c = JuntaClock::new(4);
+        assert_eq!(c.hour(0), 0);
+        assert_eq!(c.hour(3), 0);
+        assert_eq!(c.hour(4), 1);
+        assert_eq!(c.hour(9), 2);
+    }
+
+    #[test]
+    fn junta_initiator_pushes_past_partner() {
+        let c = JuntaClock::new(4);
+        let mut a = 3u64;
+        let crossed = c.interact(true, &mut a, 3);
+        assert_eq!(a, 4);
+        assert_eq!(crossed, 1);
+        // Non-junta only pulls the max.
+        let mut x = 0u64;
+        let crossed = c.interact(false, &mut x, 9);
+        assert_eq!(x, 9);
+        assert_eq!(crossed, 2);
+        // Pulling backwards never happens.
+        let mut y = 9u64;
+        c.interact(false, &mut y, 2);
+        assert_eq!(y, 9);
+    }
+
+    #[test]
+    fn clock_ticks_and_hours_are_spaced() {
+        let n = 10_000;
+        let (proto, states) = JuntaClockRun::new(n, 4);
+        let mut sim = Simulation::new(proto, states, 41);
+        sim.run(&RunOptions::with_parallel_time_budget(n, 800.0));
+        let marks = &sim.protocol().first_hour_at;
+        assert!(marks.len() >= 4, "expected several hours, got {}", marks.len());
+        // Spacing after warm-up should be positive and not wildly irregular.
+        let gaps: Vec<f64> = marks.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let tail = &gaps[1..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(mean > 0.0);
+        for g in tail {
+            assert!(*g < 6.0 * mean, "hour gap {g} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn census_encoding_wraps_counter() {
+        let c = JuntaClock::new(4);
+        assert_eq!(c.encode_counter(0), c.encode_counter(256));
+        assert_ne!(c.encode_counter(0), c.encode_counter(1));
+    }
+}

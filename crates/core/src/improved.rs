@@ -1,0 +1,170 @@
+//! `ImprovedAlgorithm` — the paper's main contribution (Theorem 2).
+//!
+//! Before any tournament starts, every opinion's subpopulation runs its own
+//! junta-driven phase clock on *meaningful* (same-opinion) interactions
+//! (Algorithm 5). An opinion of support `x_j` completes a clock hour every
+//! `Θ((n²/x_j)·log n)` interactions, so the plurality's clock reaches hour
+//! `c` first; the resulting phase-0 broadcast prunes every agent whose
+//! clock never ticked — w.h.p. exactly the insignificant opinions
+//! (`x_j ≤ x_max/c_s`) — by re-rolling them into clocks, trackers and
+//! players with their tokens discarded. The surviving `O(n/x_max)` opinions
+//! then run the unordered tournament machinery, for a total of
+//! `O(n/x_max·log n + log² n)` parallel time with
+//! `O(k·loglog n + log n)` states (for `x_max > n^(1/2+ε)`).
+
+use pp_engine::{Protocol, SimRng};
+use pp_workloads::OpinionAssignment;
+
+use crate::config::Tuning;
+use crate::roles::Agent;
+use crate::tournament::{Machine, Milestones, Mode};
+
+/// The pruning plurality-consensus protocol.
+#[derive(Debug, Clone)]
+pub struct ImprovedAlgorithm {
+    machine: Machine,
+}
+
+impl ImprovedAlgorithm {
+    /// Build the protocol and its initial configuration.
+    ///
+    /// Theorem 2 assumes `x_max > n^(1/2+ε)`; the protocol runs on any
+    /// input (correctness degrades gracefully towards the unordered
+    /// variant when the assumption is violated, because then *every* clock
+    /// is slow and pruning may remove nothing or too much — measured in
+    /// experiment X9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2k` or `n < 40`.
+    pub fn new(assignment: &OpinionAssignment, tuning: Tuning) -> (Self, Vec<Agent>) {
+        let n = assignment.n();
+        let k = assignment.k() as u16;
+        assert!(n >= 40, "population too small to split into roles");
+        assert!(n >= 2 * usize::from(k), "need n >= 2k");
+        let machine = Machine::new(Mode::Unordered, true, n, k, tuning);
+        let phase = machine.initial_phase();
+        let states = assignment
+            .opinions()
+            .iter()
+            .map(|&op| Agent::collector(op, phase, false))
+            .collect();
+        (Self { machine }, states)
+    }
+
+    /// Recorded milestones.
+    pub fn milestones(&self) -> &Milestones {
+        &self.machine.milestones
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+}
+
+impl Protocol for ImprovedAlgorithm {
+    type State = Agent;
+
+    fn interact(&mut self, t: u64, a: &mut Agent, b: &mut Agent, rng: &mut SimRng) {
+        self.machine.interact(t, a, b, rng);
+    }
+
+    fn converged(&self, states: &[Agent]) -> Option<u32> {
+        self.machine.converged(states)
+    }
+
+    fn encode(&self, state: &Agent) -> u64 {
+        self.machine.encode(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roles::Role;
+    use pp_engine::{RunOptions, RunStatus, Simulation};
+    use pp_workloads::Counts;
+
+    fn run(counts: Counts, seed: u64, budget: f64) -> (pp_engine::RunResult, u32) {
+        let assignment = counts.assignment();
+        let expected = assignment.plurality();
+        let (proto, states) = ImprovedAlgorithm::new(&assignment, Tuning::default());
+        let mut sim = Simulation::new(proto, states, seed);
+        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), budget));
+        (r, expected)
+    }
+
+    #[test]
+    fn dominant_plurality_with_many_small_opinions() {
+        // x_max = 400 ≈ n^0.87, 8 tiny opinions: the Theorem 2 regime.
+        let counts = Counts::one_large(1000, 9, 400);
+        let (r, expected) = run(counts, 3, 400_000.0);
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(expected));
+    }
+
+    #[test]
+    fn two_large_one_small() {
+        let counts = Counts::from_supports(vec![320, 300, 30]);
+        let (r, expected) = run(counts, 13, 400_000.0);
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(expected));
+    }
+
+    #[test]
+    fn pruning_removes_insignificant_collectors() {
+        // Stop at the end of the pruning init and inspect the roles.
+        let counts = Counts::one_large(2000, 11, 800);
+        let assignment = counts.assignment();
+        let (proto, states) = ImprovedAlgorithm::new(&assignment, Tuning::default());
+        let mut sim = Simulation::new(proto, states, 7);
+        // Run until every agent reached phase 0 (observed via sampling).
+        let mut all_started = false;
+        let r = sim.run_observed(
+            &RunOptions::with_parallel_time_budget(assignment.n(), 400_000.0),
+            |_, states| {
+                if !all_started {
+                    all_started = states.iter().all(|s| s.phase >= 0);
+                }
+            },
+        );
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(assignment.plurality()));
+    }
+
+    #[test]
+    fn tokens_of_plurality_survive_the_init() {
+        // Lemma 10(2): run only the init (huge budget, observe), then count
+        // plurality tokens among collectors the moment all agents reached
+        // phase 0.
+        let counts = Counts::one_large(2000, 11, 800);
+        let assignment = counts.assignment();
+        let x_max = assignment.x_max();
+        let (proto, states) = ImprovedAlgorithm::new(&assignment, Tuning::default());
+        let mut sim = Simulation::new(proto, states, 19);
+        let mut plurality_tokens_at_start: Option<usize> = None;
+        let _ = sim.run_observed(
+            &RunOptions::with_parallel_time_budget(assignment.n(), 400_000.0),
+            |_, states| {
+                if plurality_tokens_at_start.is_none()
+                    && states.iter().all(|s| s.phase >= 0)
+                {
+                    let tokens: usize = states
+                        .iter()
+                        .filter_map(|s| match &s.role {
+                            Role::Collector(c) if c.opinion == 1 => Some(usize::from(c.tokens)),
+                            _ => None,
+                        })
+                        .sum();
+                    plurality_tokens_at_start = Some(tokens);
+                }
+            },
+        );
+        assert_eq!(
+            plurality_tokens_at_start.expect("init completed"),
+            x_max,
+            "plurality tokens must be conserved through the pruning init"
+        );
+    }
+}

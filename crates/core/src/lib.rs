@@ -1,0 +1,28 @@
+//! The paper's plurality-consensus protocols.
+//!
+//! This crate implements the three protocols of *Population Protocols for
+//! Exact Plurality Consensus* (PODC 2022):
+//!
+//! * [`simple`] — `SimpleAlgorithm` (Theorem 1(1)): `k − 1` tournaments over
+//!   *ordered* opinions, `O(k·log n)` time, `O(k + log n)` states.
+//! * [`unordered`] — the Appendix B variant (Theorem 1(2)): a leader elected
+//!   among the trackers samples each tournament's challenger, removing the
+//!   order assumption at the cost of `O(log² n)` additional time.
+//! * [`improved`] — `ImprovedAlgorithm` (Theorem 2): per-opinion junta-driven
+//!   phase clocks prune insignificant opinions before the tournaments,
+//!   reducing their number from `k − 1` to `O(n/x_max)`.
+//!
+//! All three share the role machinery in [`roles`], the tournament phase
+//! logic in [`tournament`] and the tuning constants in [`config`].
+
+pub mod config;
+pub mod improved;
+pub mod roles;
+pub mod simple;
+pub mod tournament;
+pub mod unordered;
+
+pub use config::Tuning;
+pub use improved::ImprovedAlgorithm;
+pub use simple::SimpleAlgorithm;
+pub use unordered::UnorderedAlgorithm;

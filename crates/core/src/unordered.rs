@@ -1,0 +1,120 @@
+//! The unordered variant of `SimpleAlgorithm` (Theorem 1(2), Appendix B).
+//!
+//! No numbering of opinions is assumed. The trackers elect a unique leader
+//! (w.h.p.) via the junta-clock coin lottery; the leader samples the initial
+//! defender, releases the tournament clock, samples one fresh challenger
+//! per tournament (amplified through the trackers' opinion slots) and
+//! declares the tournaments finished when no candidate opinion remains.
+//! Cost of removing the order: an additive `O(log² n)` for the leader
+//! election, i.e. `O(k·log n + log² n)` parallel time with `O(k + log n)`
+//! states.
+
+use pp_engine::{Protocol, SimRng};
+use pp_workloads::OpinionAssignment;
+
+use crate::config::Tuning;
+use crate::roles::Agent;
+use crate::tournament::{Machine, Milestones, Mode};
+
+/// The unordered plurality-consensus protocol.
+#[derive(Debug, Clone)]
+pub struct UnorderedAlgorithm {
+    machine: Machine,
+}
+
+impl UnorderedAlgorithm {
+    /// Build the protocol and its initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2k` or `n < 40`.
+    pub fn new(assignment: &OpinionAssignment, tuning: Tuning) -> (Self, Vec<Agent>) {
+        let n = assignment.n();
+        let k = assignment.k() as u16;
+        assert!(n >= 40, "population too small to split into roles");
+        assert!(n >= 2 * usize::from(k), "need n >= 2k");
+        let machine = Machine::new(Mode::Unordered, false, n, k, tuning);
+        let phase = machine.initial_phase();
+        let states = assignment
+            .opinions()
+            .iter()
+            .map(|&op| Agent::collector(op, phase, false))
+            .collect();
+        (Self { machine }, states)
+    }
+
+    /// Recorded milestones (init end, leader done, fin, first winner).
+    pub fn milestones(&self) -> &Milestones {
+        &self.machine.milestones
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+}
+
+impl Protocol for UnorderedAlgorithm {
+    type State = Agent;
+
+    fn interact(&mut self, t: u64, a: &mut Agent, b: &mut Agent, rng: &mut SimRng) {
+        self.machine.interact(t, a, b, rng);
+    }
+
+    fn converged(&self, states: &[Agent]) -> Option<u32> {
+        self.machine.converged(states)
+    }
+
+    fn encode(&self, state: &Agent) -> u64 {
+        self.machine.encode(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::{RunOptions, RunStatus, Simulation};
+    use pp_workloads::Counts;
+
+    fn run(counts: Counts, seed: u64, budget: f64) -> (pp_engine::RunResult, u32) {
+        let assignment = counts.assignment();
+        let expected = assignment.plurality();
+        let (proto, states) = UnorderedAlgorithm::new(&assignment, Tuning::default());
+        let mut sim = Simulation::new(proto, states, seed);
+        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), budget));
+        (r, expected)
+    }
+
+    #[test]
+    fn two_opinions_bias_one() {
+        // Odd n so a true bias of 1 is feasible with k = 2.
+        let (r, expected) = run(Counts::bias_one(601, 2), 21, 400_000.0);
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(expected));
+    }
+
+    #[test]
+    fn three_opinions_plurality_in_the_middle() {
+        let counts = Counts::from_supports(vec![150, 301, 149]);
+        let (r, expected) = run(counts, 8, 400_000.0);
+        assert_eq!(expected, 2);
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(2));
+    }
+
+    #[test]
+    fn milestones_order_is_sane() {
+        let counts = Counts::bias_one(600, 3);
+        let assignment = counts.assignment();
+        let (proto, states) = UnorderedAlgorithm::new(&assignment, Tuning::default());
+        let mut sim = Simulation::new(proto, states, 4);
+        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 500_000.0));
+        assert_eq!(r.status, RunStatus::Converged);
+        let ms = sim.protocol().milestones();
+        let init_end = ms.init_end.expect("init end");
+        let le_done = ms.le_done.expect("leader + defender selection");
+        let fin = ms.fin.expect("finish declaration");
+        assert!(init_end < le_done, "leader election follows init");
+        assert!(le_done < fin, "tournaments follow the leader release");
+    }
+}

@@ -1,0 +1,61 @@
+//! Simulation engine for population protocols.
+//!
+//! The *population protocol* model (Angluin et al.) consists of `n`
+//! anonymous agents, each a finite state machine. In every discrete step the
+//! scheduler draws an ordered pair of distinct agents `(initiator,
+//! responder)` independently and uniformly at random, and both agents update
+//! their states through a common transition function. *Parallel time* is the
+//! number of interactions divided by `n`.
+//!
+//! This crate provides the infrastructure shared by every protocol in the
+//! workspace:
+//!
+//! * [`Protocol`] — the transition-function interface,
+//! * [`Simulation`] — a sequential scheduler with convergence detection,
+//! * [`Census`] — exact tracking of the set of distinct agent states visited
+//!   (used to validate state-space bounds such as `O(k + log n)`),
+//! * [`ensemble`] — embarrassingly-parallel execution of independent trials,
+//! * [`rng`] — deterministic seed derivation so every experiment is
+//!   reproducible from a single base seed.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_engine::{Protocol, Simulation, SimRng, RunOptions};
+//!
+//! /// One-way epidemic: state 1 infects state 0.
+//! struct Epidemic;
+//! impl Protocol for Epidemic {
+//!     type State = u8;
+//!     fn interact(&mut self, _t: u64, a: &mut u8, b: &mut u8, _rng: &mut SimRng) {
+//!         if *a == 1 { *b = 1; }
+//!         if *b == 1 { *a = 1; }
+//!     }
+//!     fn converged(&self, states: &[u8]) -> Option<u32> {
+//!         states.iter().all(|&s| s == 1).then_some(1)
+//!     }
+//! }
+//!
+//! let mut states = vec![0u8; 1024];
+//! states[0] = 1;
+//! let mut sim = Simulation::new(Epidemic, states, 42);
+//! let result = sim.run(&RunOptions::default());
+//! assert_eq!(result.output, Some(1));
+//! // An epidemic completes in roughly log2(n) + ln(n) parallel time.
+//! assert!(result.parallel_time < 40.0);
+//! ```
+
+pub mod batch;
+pub mod census;
+pub mod ensemble;
+pub mod pair;
+pub mod protocol;
+pub mod result;
+pub mod rng;
+pub mod sim;
+
+pub use batch::{BatchSimulation, TableProtocol};
+pub use census::Census;
+pub use protocol::{Protocol, SimRng};
+pub use result::{RunOptions, RunResult, RunStatus};
+pub use sim::Simulation;

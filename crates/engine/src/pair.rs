@@ -1,0 +1,104 @@
+//! Sampling and mutably borrowing a random ordered pair of agents.
+
+use rand::Rng;
+
+use crate::protocol::SimRng;
+
+/// Draw an ordered pair of distinct indices uniformly from `0..n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[inline]
+pub fn sample_pair(rng: &mut SimRng, n: usize) -> (usize, usize) {
+    debug_assert!(n >= 2, "population must contain at least two agents");
+    let i = rng.gen_range(0..n);
+    let mut j = rng.gen_range(0..n - 1);
+    if j >= i {
+        j += 1;
+    }
+    (i, j)
+}
+
+/// Obtain simultaneous mutable references to two distinct slice elements.
+///
+/// # Panics
+///
+/// Panics if `i == j` or either index is out of bounds.
+#[inline]
+pub fn pair_mut<T>(slice: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "pair_mut requires distinct indices");
+    if i < j {
+        let (lo, hi) = slice.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = slice.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_pair_is_distinct_and_in_range() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let (i, j) = sample_pair(&mut rng, 5);
+            assert_ne!(i, j);
+            assert!(i < 5 && j < 5);
+        }
+    }
+
+    #[test]
+    fn sample_pair_covers_all_ordered_pairs() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 4;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            seen.insert(sample_pair(&mut rng, n));
+        }
+        assert_eq!(seen.len(), n * (n - 1));
+    }
+
+    #[test]
+    fn sample_pair_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 3;
+        let trials = 60_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..trials {
+            *counts.entry(sample_pair(&mut rng, n)).or_insert(0u32) += 1;
+        }
+        let expect = trials as f64 / (n * (n - 1)) as f64;
+        for (&pair, &c) in &counts {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "pair {pair:?} count {c} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn pair_mut_returns_correct_elements() {
+        let mut v = vec![10, 20, 30, 40];
+        {
+            let (a, b) = pair_mut(&mut v, 1, 3);
+            assert_eq!((*a, *b), (20, 40));
+            *a = 21;
+            *b = 41;
+        }
+        {
+            let (a, b) = pair_mut(&mut v, 3, 1);
+            assert_eq!((*a, *b), (41, 21));
+        }
+        assert_eq!(v, vec![10, 21, 30, 41]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pair_mut_rejects_equal_indices() {
+        let mut v = vec![1, 2];
+        let _ = pair_mut(&mut v, 1, 1);
+    }
+}

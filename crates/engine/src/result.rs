@@ -1,0 +1,82 @@
+//! Run outcomes and options.
+
+/// How a simulation run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunStatus {
+    /// The convergence predicate fired.
+    Converged,
+    /// The interaction budget was exhausted first.
+    Exhausted,
+}
+
+/// The outcome of a [`crate::Simulation::run`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Whether the run converged or ran out of budget.
+    pub status: RunStatus,
+    /// Output reported by the convergence predicate, if any.
+    pub output: Option<u32>,
+    /// Total interactions executed.
+    pub interactions: u64,
+    /// Interactions divided by the population size.
+    pub parallel_time: f64,
+}
+
+impl RunResult {
+    /// `true` iff the run converged to `expected`.
+    pub fn is_correct(&self, expected: u32) -> bool {
+        self.status == RunStatus::Converged && self.output == Some(expected)
+    }
+}
+
+/// Options controlling a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Hard cap on interactions. Defaults to `u64::MAX` scaled down by the
+    /// caller; experiments always set an explicit budget.
+    pub max_interactions: u64,
+    /// How often (in interactions) the convergence predicate is evaluated.
+    /// `0` means "every n interactions" (one parallel time unit).
+    pub check_every: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { max_interactions: u64::MAX, check_every: 0 }
+    }
+}
+
+impl RunOptions {
+    /// Budget expressed in parallel time for a population of `n` agents.
+    pub fn with_parallel_time_budget(n: usize, parallel_time: f64) -> Self {
+        Self {
+            max_interactions: (n as f64 * parallel_time).ceil() as u64,
+            check_every: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_in_parallel_time() {
+        let opts = RunOptions::with_parallel_time_budget(100, 2.5);
+        assert_eq!(opts.max_interactions, 250);
+    }
+
+    #[test]
+    fn correctness_requires_convergence() {
+        let r = RunResult {
+            status: RunStatus::Exhausted,
+            output: Some(1),
+            interactions: 10,
+            parallel_time: 1.0,
+        };
+        assert!(!r.is_correct(1));
+        let r = RunResult { status: RunStatus::Converged, ..r };
+        assert!(r.is_correct(1));
+        assert!(!r.is_correct(2));
+    }
+}

@@ -1,0 +1,219 @@
+//! The sequential scheduler.
+
+use rand::SeedableRng;
+
+use crate::census::Census;
+use crate::pair::{pair_mut, sample_pair};
+use crate::protocol::{Protocol, SimRng};
+use crate::result::{RunOptions, RunResult, RunStatus};
+
+/// A single simulation instance: a protocol, a configuration (one state per
+/// agent) and a scheduler RNG.
+#[derive(Debug)]
+pub struct Simulation<P: Protocol> {
+    protocol: P,
+    states: Vec<P::State>,
+    rng: SimRng,
+    interactions: u64,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Create a simulation over the given initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two agents are supplied.
+    pub fn new(protocol: P, states: Vec<P::State>, seed: u64) -> Self {
+        assert!(states.len() >= 2, "population must contain at least two agents");
+        Self { protocol, states, rng: SimRng::seed_from_u64(seed), interactions: 0 }
+    }
+
+    /// Number of agents.
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Interactions executed so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Interactions divided by the population size.
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.n() as f64
+    }
+
+    /// The current configuration.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The protocol instance (e.g. to read recorded milestones).
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Execute a single interaction, returning the chosen (initiator,
+    /// responder) indices.
+    #[inline]
+    pub fn step(&mut self) -> (usize, usize) {
+        let (i, j) = sample_pair(&mut self.rng, self.states.len());
+        let t = self.interactions;
+        let (a, b) = pair_mut(&mut self.states, i, j);
+        self.protocol.interact(t, a, b, &mut self.rng);
+        self.interactions += 1;
+        (i, j)
+    }
+
+    /// Run until the protocol converges or the budget is exhausted.
+    pub fn run(&mut self, opts: &RunOptions) -> RunResult {
+        self.run_inner(opts, |_, _| {})
+    }
+
+    /// Like [`run`](Self::run), but additionally records every visited state
+    /// (initial configuration plus both participants after each interaction)
+    /// into `census`. Substantially slower; used by state-space experiments.
+    pub fn run_with_census(&mut self, opts: &RunOptions, census: &mut Census) -> RunResult {
+        for s in &self.states {
+            census.record(self.protocol.encode(s));
+        }
+        // Split the borrow: the closure needs `census` while `run_inner`
+        // borrows `self` mutably, so the recording happens on indices.
+        let opts = *opts;
+        loop {
+            if let Some(output) = self.check(&opts) {
+                return self.finish(RunStatus::Converged, Some(output));
+            }
+            if self.interactions >= opts.max_interactions {
+                return self.finish(RunStatus::Exhausted, None);
+            }
+            let steps = self.steps_until_next_check(&opts);
+            for _ in 0..steps {
+                let (i, j) = self.step();
+                census.record(self.protocol.encode(&self.states[i]));
+                census.record(self.protocol.encode(&self.states[j]));
+            }
+        }
+    }
+
+    /// Like [`run`](Self::run), with a sampling hook invoked after every
+    /// convergence check; used to record time series.
+    pub fn run_observed(
+        &mut self,
+        opts: &RunOptions,
+        mut observe: impl FnMut(u64, &[P::State]),
+    ) -> RunResult {
+        self.run_inner(opts, |t, states| observe(t, states))
+    }
+
+    fn run_inner(
+        &mut self,
+        opts: &RunOptions,
+        mut observe: impl FnMut(u64, &[P::State]),
+    ) -> RunResult {
+        loop {
+            observe(self.interactions, &self.states);
+            if let Some(output) = self.check(opts) {
+                return self.finish(RunStatus::Converged, Some(output));
+            }
+            if self.interactions >= opts.max_interactions {
+                return self.finish(RunStatus::Exhausted, None);
+            }
+            let steps = self.steps_until_next_check(opts);
+            for _ in 0..steps {
+                self.step();
+            }
+        }
+    }
+
+    fn check(&self, _opts: &RunOptions) -> Option<u32> {
+        self.protocol.converged(&self.states)
+    }
+
+    fn steps_until_next_check(&self, opts: &RunOptions) -> u64 {
+        let every = if opts.check_every == 0 { self.n() as u64 } else { opts.check_every };
+        every.min(opts.max_interactions - self.interactions)
+    }
+
+    fn finish(&self, status: RunStatus, output: Option<u32>) -> RunResult {
+        RunResult {
+            status,
+            output,
+            interactions: self.interactions,
+            parallel_time: self.parallel_time(),
+        }
+    }
+
+    /// Consume the simulation and return the protocol (for milestone
+    /// extraction) together with the final configuration.
+    pub fn into_parts(self) -> (P, Vec<P::State>) {
+        (self.protocol, self.states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts pair sums; converges when every agent saw at least one
+    /// interaction (state > 0).
+    struct Touch;
+    impl Protocol for Touch {
+        type State = u32;
+        fn interact(&mut self, _t: u64, a: &mut u32, b: &mut u32, _rng: &mut SimRng) {
+            *a += 1;
+            *b += 1;
+        }
+        fn converged(&self, states: &[u32]) -> Option<u32> {
+            states.iter().all(|&s| s > 0).then_some(0)
+        }
+        fn encode(&self, state: &u32) -> u64 {
+            u64::from((*state).min(3))
+        }
+    }
+
+    #[test]
+    fn runs_until_everyone_touched() {
+        let mut sim = Simulation::new(Touch, vec![0u32; 64], 1);
+        let result = sim.run(&RunOptions::default());
+        assert_eq!(result.status, RunStatus::Converged);
+        // Coupon collector: needs at least n/2 interactions.
+        assert!(result.interactions >= 32);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut sim = Simulation::new(Touch, vec![0u32; 1000], 1);
+        let result = sim.run(&RunOptions { max_interactions: 10, check_every: 0 });
+        assert_eq!(result.status, RunStatus::Exhausted);
+        assert_eq!(result.interactions, 10);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let run = |seed| {
+            let mut sim = Simulation::new(Touch, vec![0u32; 128], seed);
+            sim.run(&RunOptions::default()).interactions
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn census_counts_distinct_states() {
+        let mut sim = Simulation::new(Touch, vec![0u32; 32], 5);
+        let mut census = Census::new();
+        sim.run_with_census(&RunOptions::default(), &mut census);
+        // Encodings are clamped to 0..=3.
+        assert!(census.len() >= 2 && census.len() <= 4, "census = {}", census.len());
+    }
+
+    #[test]
+    fn interactions_counter_matches_steps() {
+        let mut sim = Simulation::new(Touch, vec![0u32; 8], 2);
+        for _ in 0..17 {
+            sim.step();
+        }
+        assert_eq!(sim.interactions(), 17);
+        assert!((sim.parallel_time() - 17.0 / 8.0).abs() < 1e-12);
+    }
+}

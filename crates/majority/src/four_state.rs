@@ -1,0 +1,169 @@
+//! The classic 4-state stable exact majority.
+//!
+//! States: *strong* `A`/`B` (carrying the agent's original vote as a token)
+//! and *weak* `a`/`b` (an opinion without a token). Strong opposites
+//! annihilate into weak states — preserving the token difference
+//! `#A − #B` exactly — and surviving strong agents convert weak agents to
+//! their side. For any bias `d ≥ 1` the minority's strong tokens are
+//! eventually wiped out and the `d` surviving majority tokens convert
+//! everyone: *always correct*. The price is time: with `d = 1` the final
+//! annihilation and the single-token conversion sweep cost `Θ(n)` parallel
+//! time — the baseline demonstrating why the paper accepts a small failure
+//! probability to get `O(log n)`-time building blocks (experiment X10).
+
+use pp_engine::{Protocol, SimRng};
+
+/// 4-state agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FourStateAgent {
+    /// Strong A (token holder).
+    StrongA,
+    /// Strong B (token holder).
+    StrongB,
+    /// Weak a.
+    WeakA,
+    /// Weak b.
+    WeakB,
+}
+
+/// The 4-state stable exact-majority protocol.
+#[derive(Debug, Clone, Default)]
+pub struct FourState;
+
+impl FourState {
+    /// Initial configuration with `a` strong-A and `b` strong-B agents.
+    pub fn initial_states(a: usize, b: usize) -> Vec<FourStateAgent> {
+        let mut v = Vec::with_capacity(a + b);
+        v.extend(std::iter::repeat(FourStateAgent::StrongA).take(a));
+        v.extend(std::iter::repeat(FourStateAgent::StrongB).take(b));
+        v
+    }
+}
+
+impl Protocol for FourState {
+    type State = FourStateAgent;
+
+    #[inline]
+    fn interact(&mut self, _t: u64, a: &mut FourStateAgent, b: &mut FourStateAgent, _rng: &mut SimRng) {
+        use FourStateAgent::*;
+        match (*a, *b) {
+            // Strong opposites annihilate into weak opinions.
+            (StrongA, StrongB) => {
+                *a = WeakA;
+                *b = WeakB;
+            }
+            (StrongB, StrongA) => {
+                *a = WeakB;
+                *b = WeakA;
+            }
+            // Strong agents convert weak opposites.
+            (StrongA, WeakB) => *b = WeakA,
+            (StrongB, WeakA) => *b = WeakB,
+            (WeakB, StrongA) => *a = WeakA,
+            (WeakA, StrongB) => *a = WeakB,
+            _ => {}
+        }
+    }
+
+    fn converged(&self, states: &[FourStateAgent]) -> Option<u32> {
+        use FourStateAgent::*;
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for s in states {
+            match s {
+                StrongA | WeakA => saw_a = true,
+                StrongB | WeakB => saw_b = true,
+            }
+            if saw_a && saw_b {
+                return None;
+            }
+        }
+        Some(if saw_a { 1 } else { 2 })
+    }
+
+    fn encode(&self, state: &FourStateAgent) -> u64 {
+        use FourStateAgent::*;
+        match state {
+            StrongA => 0,
+            StrongB => 1,
+            WeakA => 2,
+            WeakB => 3,
+        }
+    }
+}
+
+/// Token difference `#StrongA − #StrongB`: invariant under all transitions.
+pub fn token_difference(states: &[FourStateAgent]) -> i64 {
+    states
+        .iter()
+        .map(|s| match s {
+            FourStateAgent::StrongA => 1,
+            FourStateAgent::StrongB => -1,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::{RunOptions, RunStatus, Simulation};
+
+    #[test]
+    fn exact_at_bias_one_always() {
+        for seed in 0..10 {
+            let n = 200;
+            let states = FourState::initial_states(n / 2 + 1, n / 2 - 1);
+            let mut sim = Simulation::new(FourState, states, seed);
+            let r = sim.run(&RunOptions::with_parallel_time_budget(n, 200_000.0));
+            assert_eq!(r.status, RunStatus::Converged, "seed {seed}");
+            assert_eq!(r.output, Some(1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn minority_never_wins() {
+        let n = 500;
+        let states = FourState::initial_states(200, 300);
+        let mut sim = Simulation::new(FourState, states, 77);
+        let r = sim.run(&RunOptions::with_parallel_time_budget(n, 200_000.0));
+        assert_eq!(r.output, Some(2));
+    }
+
+    #[test]
+    fn token_difference_is_invariant() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut p = FourState;
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut states = FourState::initial_states(33, 31);
+        let d0 = token_difference(&states);
+        for _ in 0..50_000 {
+            let i = rng.gen_range(0..states.len());
+            let mut j = rng.gen_range(0..states.len() - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (lo, hi) = states.split_at_mut(i.max(j));
+            let (x, y) = if i < j { (&mut lo[i], &mut hi[0]) } else { (&mut hi[0], &mut lo[j]) };
+            p.interact(0, x, y, &mut rng);
+        }
+        assert_eq!(token_difference(&states), d0);
+    }
+
+    #[test]
+    fn bias_one_is_slow() {
+        // Θ(n) parallel time: at n = 512 expect hundreds of time units,
+        // far above the O(log n) of cancel/split.
+        let n = 512;
+        let states = FourState::initial_states(n / 2 + 1, n / 2 - 1);
+        let mut sim = Simulation::new(FourState, states, 3);
+        let r = sim.run(&RunOptions::with_parallel_time_budget(n, 1_000_000.0));
+        assert_eq!(r.status, RunStatus::Converged);
+        assert!(
+            r.parallel_time > 2.0 * (n as f64).ln(),
+            "suspiciously fast: {}",
+            r.parallel_time
+        );
+    }
+}

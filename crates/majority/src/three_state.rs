@@ -1,0 +1,169 @@
+//! The 3-state approximate majority of Angluin–Aspnes–Eisenstat \[4\].
+//!
+//! States: opinion `A`, opinion `B`, or blank. An opinionated initiator
+//! blanks a responder of the opposite opinion and recruits a blank
+//! responder. Converges in `O(log n)` parallel time w.h.p., but identifies
+//! the true majority only when the initial bias is `Ω(√(n·log n))` — the
+//! canonical example of *approximate* (non-exact) majority, included as the
+//! baseline the paper's protocols are measured against (experiment X13
+//! flavour for k = 2).
+
+use pp_engine::{Protocol, SimRng};
+
+/// 3-state agent: 0 = blank, 1 = A, 2 = B.
+pub type ThreeStateAgent = u8;
+
+/// Blank (undecided) state.
+pub const BLANK: ThreeStateAgent = 0;
+/// Opinion A.
+pub const A: ThreeStateAgent = 1;
+/// Opinion B.
+pub const B: ThreeStateAgent = 2;
+
+/// The 3-state approximate-majority protocol.
+#[derive(Debug, Clone, Default)]
+pub struct ThreeState;
+
+impl ThreeState {
+    /// Initial configuration with `a` supporters of A, `b` of B.
+    pub fn initial_states(a: usize, b: usize) -> Vec<ThreeStateAgent> {
+        let mut v = Vec::with_capacity(a + b);
+        v.extend(std::iter::repeat(A).take(a));
+        v.extend(std::iter::repeat(B).take(b));
+        v
+    }
+}
+
+impl Protocol for ThreeState {
+    type State = ThreeStateAgent;
+
+    #[inline]
+    fn interact(&mut self, _t: u64, a: &mut u8, b: &mut u8, _rng: &mut SimRng) {
+        match (*a, *b) {
+            (A, B) | (B, A) => *b = BLANK,
+            (A, BLANK) => *b = A,
+            (B, BLANK) => *b = B,
+            _ => {}
+        }
+    }
+
+    fn converged(&self, states: &[u8]) -> Option<u32> {
+        let first = states[0];
+        (first != BLANK && states.iter().all(|&s| s == first)).then(|| u32::from(first))
+    }
+
+    fn encode(&self, state: &u8) -> u64 {
+        u64::from(*state)
+    }
+}
+
+/// The same protocol as a deterministic transition table, runnable on the
+/// batched configuration-space engine (`pp_engine::BatchSimulation`) for
+/// million-agent experiments.
+impl pp_engine::TableProtocol for ThreeState {
+    fn states(&self) -> usize {
+        3
+    }
+
+    fn delta(&self, a: usize, b: usize) -> (usize, usize) {
+        let (a8, b8) = (a as u8, b as u8);
+        match (a8, b8) {
+            (A, B) | (B, A) => (a, usize::from(BLANK)),
+            (A, BLANK) => (a, usize::from(A)),
+            (B, BLANK) => (a, usize::from(B)),
+            _ => (a, b),
+        }
+    }
+
+    fn output(&self, counts: &[u64]) -> Option<u32> {
+        if counts[usize::from(BLANK)] != 0 {
+            return None;
+        }
+        match (counts[usize::from(A)], counts[usize::from(B)]) {
+            (_, 0) => Some(u32::from(A)),
+            (0, _) => Some(u32::from(B)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::{BatchSimulation, RunOptions, RunStatus, Simulation};
+
+    #[test]
+    fn large_bias_picks_the_majority() {
+        let n = 4096;
+        // bias n/4 >> sqrt(n log n) ≈ 185.
+        let states = ThreeState::initial_states(n / 2 + n / 8, n / 2 - n / 8);
+        let mut sim = Simulation::new(ThreeState, states, 31);
+        let r = sim.run(&RunOptions::with_parallel_time_budget(n, 2000.0));
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(u32::from(A)));
+    }
+
+    #[test]
+    fn convergence_is_fast() {
+        let n = 8192;
+        let states = ThreeState::initial_states(n * 3 / 4, n / 4);
+        let mut sim = Simulation::new(ThreeState, states, 7);
+        let r = sim.run(&RunOptions::with_parallel_time_budget(n, 2000.0));
+        assert_eq!(r.status, RunStatus::Converged);
+        assert!(r.parallel_time < 15.0 * (n as f64).ln(), "time {}", r.parallel_time);
+    }
+
+    #[test]
+    fn bias_one_is_a_coin_flip() {
+        // Not a correctness guarantee — exactly the paper's point. Over many
+        // trials at bias 1 the loser must win a non-trivial fraction.
+        let n = 256;
+        let mut wrong = 0;
+        let trials = 40;
+        for seed in 0..trials {
+            let states = ThreeState::initial_states(n / 2 + 1, n / 2 - 1);
+            let mut sim = Simulation::new(ThreeState, states, seed);
+            let r = sim.run(&RunOptions::with_parallel_time_budget(n, 5000.0));
+            if r.output == Some(u32::from(B)) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 5, "3-state majority should often fail at bias 1, failed {wrong}/{trials}");
+    }
+
+    #[test]
+    fn transitions_never_resurrect_a_decided_population() {
+        let mut p = ThreeState;
+        let mut rng = <SimRng as rand::SeedableRng>::seed_from_u64(3);
+        let mut a = A;
+        let mut b = A;
+        p.interact(0, &mut a, &mut b, &mut rng);
+        assert_eq!((a, b), (A, A));
+    }
+
+    #[test]
+    fn table_form_matches_agent_form() {
+        use pp_engine::TableProtocol;
+        let mut p = ThreeState;
+        let t = ThreeState;
+        let mut rng = <SimRng as rand::SeedableRng>::seed_from_u64(4);
+        for a in 0u8..3 {
+            for b in 0u8..3 {
+                let (mut x, mut y) = (a, b);
+                p.interact(0, &mut x, &mut y, &mut rng);
+                let (tx, ty) = t.delta(usize::from(a), usize::from(b));
+                assert_eq!((usize::from(x), usize::from(y)), (tx, ty), "mismatch at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn million_agent_majority_via_batch_engine() {
+        let n = 1_000_000u64;
+        let mut sim = BatchSimulation::new(ThreeState, vec![0, n / 2 + n / 8, n / 2 - n / 8], 7);
+        let r = sim.run(&RunOptions { max_interactions: 200 * n, check_every: 0 });
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(u32::from(A)));
+        assert!(r.parallel_time < 15.0 * (n as f64).ln());
+    }
+}

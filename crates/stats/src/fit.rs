@@ -1,0 +1,111 @@
+//! Least-squares scaling-law fits.
+//!
+//! The experiments validate statements like "parallel time = O(k·log n)" by
+//! fitting the measured times against the predicted functional form and
+//! reporting the constant and the coefficient of determination R². A good
+//! reproduction shows R² close to 1 and a stable constant across the sweep.
+
+/// A least-squares fit `y ≈ a·x + b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Slope.
+    pub a: f64,
+    /// Intercept (0 for through-origin fits).
+    pub b: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fit `y ≈ a·x` (no intercept).
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs, or if all `x` are zero.
+pub fn fit_through_origin(x: &[f64], y: &[f64]) -> Fit {
+    assert_eq!(x.len(), y.len());
+    assert!(!x.is_empty());
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| xi * yi).sum();
+    let sxx: f64 = x.iter().map(|xi| xi * xi).sum();
+    assert!(sxx > 0.0, "cannot fit through origin with all-zero x");
+    let a = sxy / sxx;
+    Fit { a, b: 0.0, r2: r_squared(y, &x.iter().map(|xi| a * xi).collect::<Vec<_>>()) }
+}
+
+/// Fit `y ≈ a·x + b`.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs, or if `x` is constant.
+pub fn fit_affine(x: &[f64], y: &[f64]) -> Fit {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 2);
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|xi| (xi - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "cannot fit affine with constant x");
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+    let a = sxy / sxx;
+    let b = my - a * mx;
+    Fit { a, b, r2: r_squared(y, &x.iter().map(|xi| a * xi + b).collect::<Vec<_>>()) }
+}
+
+fn r_squared(y: &[f64], pred: &[f64]) -> f64 {
+    let my = y.iter().sum::<f64>() / y.len() as f64;
+    let ss_tot: f64 = y.iter().map(|yi| (yi - my).powi(2)).sum();
+    let ss_res: f64 = y.iter().zip(pred).map(|(yi, pi)| (yi - pi).powi(2)).sum();
+    if ss_tot == 0.0 {
+        // Constant y: perfect iff residuals vanish.
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_through_origin() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        let f = fit_through_origin(&x, &y);
+        assert!((f.a - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_affine_line() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [1.0, 3.0, 5.0];
+        let f = fit_affine(&x, &y);
+        assert!((f.a - 2.0).abs() < 1e-12);
+        assert!((f.b - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_data_has_r2_below_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.1, 3.9, 6.2, 7.8];
+        let f = fit_affine(&x, &y);
+        assert!(f.r2 > 0.99 && f.r2 < 1.0);
+    }
+
+    #[test]
+    fn misspecified_model_scores_poorly() {
+        // Quadratic data against a through-origin line.
+        let x: Vec<f64> = (1..=8).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let linear = fit_through_origin(&x, &y);
+        let quadratic =
+            fit_through_origin(&x.iter().map(|v| v * v).collect::<Vec<_>>(), &y);
+        assert!(quadratic.r2 > linear.r2);
+        assert!((quadratic.r2 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Confidence intervals for success probabilities.
+
+/// Wilson score interval for a binomial proportion at confidence `z`
+/// (use `z = 1.96` for 95%). Returns `(low, high)`.
+///
+/// Chosen over the normal approximation because the exactness experiments
+/// routinely observe 0 failures out of `t` trials, where the normal interval
+/// collapses to a point and the Wilson interval stays informative.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials`.
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval needs at least one trial");
+    assert!(successes <= trials);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = p + z2 / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (((centre - margin) / denom).max(0.0), ((centre + margin) / denom).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_successes_interval_excludes_low_probabilities() {
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(lo > 0.95, "lo = {lo}");
+        // hi is exactly 1 up to floating-point rounding of
+        // (centre + margin) / denom.
+        assert!(hi > 1.0 - 1e-12, "hi = {hi}");
+    }
+
+    #[test]
+    fn half_successes_centres_near_half() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && hi > 0.5);
+        assert!((lo - 0.4038).abs() < 0.01, "lo = {lo}");
+        assert!((hi - 0.5962).abs() < 0.01, "hi = {hi}");
+    }
+
+    #[test]
+    fn zero_successes_includes_zero() {
+        let (lo, hi) = wilson_interval(0, 20, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.25);
+    }
+
+    #[test]
+    fn interval_is_ordered_and_bounded() {
+        for s in 0..=10 {
+            let (lo, hi) = wilson_interval(s, 10, 1.96);
+            assert!((0.0..=1.0).contains(&lo));
+            assert!((0.0..=1.0).contains(&hi));
+            assert!(lo <= hi);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Aligned console tables with CSV export.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table. Used by every experiment binary to print
+/// the rows recorded in `EXPERIMENTS.md` and to persist them as CSV under
+/// `results/`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{cell:>w$}", w = w);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// CSV rendering (headers + rows, comma-separated; cells containing
+    /// commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Write the CSV rendering to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the write.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Format a float with a sensible number of significant digits for tables.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["n", "time"]);
+        t.push(vec!["100".into(), "1.5".into()]);
+        t.push(vec!["100000".into(), "12.25".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("100000"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, rule, two rows, title line.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("c", &["a", "b"]);
+        t.push(vec!["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("c", &["a", "b"]);
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting_buckets() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.5), "1234");
+        assert_eq!(fmt_f64(12.34), "12.3");
+        assert_eq!(fmt_f64(1.2345), "1.234");
+    }
+}

@@ -1,0 +1,322 @@
+//! Opinion support vectors.
+
+use crate::assignment::OpinionAssignment;
+
+/// An opinion support vector `(x_1, …, x_k)` with `Σ x_i = n`.
+///
+/// Invariants enforced at construction: every support is ≥ 1 (the paper's
+/// opinions all start populated), the plurality (largest support) is unique,
+/// and opinion identifiers are `1..=k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counts {
+    supports: Vec<usize>,
+}
+
+impl Counts {
+    /// Build from explicit supports (`supports[i]` is the support of opinion
+    /// `i + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any support is zero or the maximum is not unique.
+    pub fn from_supports(supports: Vec<usize>) -> Self {
+        assert!(!supports.is_empty(), "need at least one opinion");
+        assert!(supports.iter().all(|&x| x >= 1), "all opinions must start supported");
+        let max = *supports.iter().max().expect("non-empty");
+        let max_count = supports.iter().filter(|&&x| x == max).count();
+        assert_eq!(max_count, 1, "plurality opinion must be unique");
+        Self { supports }
+    }
+
+    /// As equal as possible with the plurality (opinion 1) leading the
+    /// runner-up by the *minimum feasible* bias: exactly 1, except for
+    /// `k = 2` with even `n`, where parity forces a bias of 2 (the two
+    /// supports must differ by an even number).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2·k` (no room for a strict plurality).
+    pub fn bias_one(n: usize, k: usize) -> Self {
+        assert!(k >= 1 && n >= 2 * k, "need n >= 2k for a bias-1 split");
+        if k == 1 {
+            return Self::from_supports(vec![n]);
+        }
+        let base = n / k;
+        let rem = n % k;
+        let mut supports = vec![base; k];
+        for s in supports.iter_mut().take(rem) {
+            *s += 1;
+        }
+        match rem {
+            // All equal: promote opinion 1, demote opinion k. For k ≥ 3 the
+            // runner-up stays at `base` (bias 1); for k = 2 this yields the
+            // parity-minimal bias 2.
+            0 => {
+                supports[0] += 1;
+                supports[k - 1] -= 1;
+            }
+            // Opinion 1 already leads everyone by exactly 1.
+            1 => {}
+            // Opinions 1..rem tie at base+1: promote opinion 1 by demoting
+            // the *last* (base-valued) bucket, so the runner-up stays at
+            // base+1 and the bias is exactly 1. (rem ≥ 2 implies k ≥ 3.)
+            _ => {
+                supports[0] += 1;
+                supports[k - 1] -= 1;
+            }
+        }
+        let c = Self::from_supports(supports);
+        debug_assert!(
+            c.bias() == 1 || (k == 2 && n % 2 == 0 && c.bias() == 2),
+            "bias_one produced bias {} for (n={n}, k={k})",
+            c.bias()
+        );
+        c
+    }
+
+    /// Top-two opinions separated by exactly `bias`; the remaining `k − 2`
+    /// opinions share what is left as evenly as possible (strictly below the
+    /// runner-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested shape is infeasible.
+    pub fn adversarial_bias(n: usize, k: usize, bias: usize) -> Self {
+        assert!(k >= 2, "adversarial_bias needs k >= 2");
+        assert!(bias >= 1);
+        // Small opinions get `small`, the top two `second` and
+        // `second + bias`.
+        let small = n / (2 * k);
+        let small_total = small * (k.saturating_sub(2));
+        let rest = n - small_total;
+        assert!(rest > bias, "population too small for requested bias");
+        let second = (rest - bias) / 2;
+        let top = rest - second;
+        assert_eq!(top - second, bias + (rest - bias) % 2);
+        assert!(second > small, "small opinions must stay below the runner-up");
+        let mut supports = vec![small; k];
+        supports[0] = top;
+        supports[1] = second;
+        Self::from_supports(supports)
+    }
+
+    /// One large opinion of support `x_max`; the other `k − 1` opinions share
+    /// the remainder as evenly as possible. This is the Theorem 2 regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_max` does not strictly dominate the others or some
+    /// opinion would be empty.
+    pub fn one_large(n: usize, k: usize, x_max: usize) -> Self {
+        assert!(k >= 2 && x_max < n);
+        let rest = n - x_max;
+        let others = k - 1;
+        let base = rest / others;
+        let rem = rest % others;
+        let mut supports = Vec::with_capacity(k);
+        supports.push(x_max);
+        for i in 0..others {
+            supports.push(base + usize::from(i < rem));
+        }
+        assert!(x_max > base + usize::from(rem > 0), "x_max must dominate strictly");
+        Self::from_supports(supports)
+    }
+
+    /// Zipf-like distribution: `x_i ∝ i^(−s)`, rounded, with leftovers pushed
+    /// to opinion 1 so the plurality is strictly unique.
+    pub fn zipf(n: usize, k: usize, s: f64) -> Self {
+        assert!(k >= 1 && n >= 2 * k);
+        let weights: Vec<f64> = (1..=k).map(|i| (i as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut supports: Vec<usize> =
+            weights.iter().map(|w| ((w / total) * n as f64).floor().max(1.0) as usize).collect();
+        let assigned: usize = supports.iter().sum();
+        if assigned > n {
+            // Trim from the head (largest first) while keeping ≥ 1.
+            let mut excess = assigned - n;
+            'outer: loop {
+                for s in supports.iter_mut() {
+                    if excess == 0 {
+                        break 'outer;
+                    }
+                    if *s > 1 {
+                        *s -= 1;
+                        excess -= 1;
+                    }
+                }
+            }
+        } else {
+            supports[0] += n - assigned;
+        }
+        // Guarantee a strict plurality at opinion 1.
+        if k >= 2 && supports[0] <= supports[1] {
+            let needed = supports[1] - supports[0] + 1;
+            let mut moved = 0;
+            for s in supports.iter_mut().skip(1).rev() {
+                while moved < needed && *s > 1 {
+                    *s -= 1;
+                    moved += 1;
+                }
+            }
+            supports[0] += moved;
+        }
+        Self::from_supports(supports)
+    }
+
+    /// Geometric decay: `x_i ∝ ratio^i` for `ratio < 1`, normalised and
+    /// fixed up exactly like [`zipf`](Self::zipf).
+    pub fn geometric(n: usize, k: usize, ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio < 1.0);
+        assert!(k >= 1 && n >= 2 * k);
+        let weights: Vec<f64> = (0..k).map(|i| ratio.powi(i as i32)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut supports: Vec<usize> =
+            weights.iter().map(|w| ((w / total) * n as f64).floor().max(1.0) as usize).collect();
+        let assigned: usize = supports.iter().sum();
+        if assigned > n {
+            let mut excess = assigned - n;
+            for s in supports.iter_mut().rev() {
+                let take = excess.min(s.saturating_sub(1));
+                *s -= take;
+                excess -= take;
+                if excess == 0 {
+                    break;
+                }
+            }
+            assert_eq!(excess, 0, "population too small for geometric shape");
+        } else {
+            supports[0] += n - assigned;
+        }
+        if k >= 2 && supports[0] <= supports[1] {
+            supports[0] += 1;
+            let last = supports.len() - 1;
+            supports[last] -= 1;
+        }
+        Self::from_supports(supports)
+    }
+
+    /// Number of opinions `k`.
+    pub fn k(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// Population size `n = Σ x_i`.
+    pub fn n(&self) -> usize {
+        self.supports.iter().sum()
+    }
+
+    /// Support of opinion `op` (1-based).
+    pub fn support(&self, op: u16) -> usize {
+        self.supports[usize::from(op) - 1]
+    }
+
+    /// All supports, indexed by opinion − 1.
+    pub fn supports(&self) -> &[usize] {
+        &self.supports
+    }
+
+    /// The (unique) plurality opinion.
+    pub fn plurality(&self) -> u16 {
+        let (idx, _) = self
+            .supports
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, x)| x)
+            .expect("non-empty");
+        (idx + 1) as u16
+    }
+
+    /// Support of the plurality opinion (`x_max`).
+    pub fn x_max(&self) -> usize {
+        *self.supports.iter().max().expect("non-empty")
+    }
+
+    /// Gap between the plurality and the runner-up. ≥ 1 by construction.
+    pub fn bias(&self) -> usize {
+        if self.supports.len() == 1 {
+            return self.supports[0];
+        }
+        let mut sorted = self.supports.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted[0] - sorted[1]
+    }
+
+    /// Expand into one opinion per agent (agents of the same opinion are
+    /// contiguous; the uniform scheduler makes ordering irrelevant).
+    pub fn assignment(&self) -> OpinionAssignment {
+        OpinionAssignment::from_counts(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_one_has_bias_one_across_shapes() {
+        for (n, k) in [(41, 2), (41, 3), (100, 7), (1000, 13), (96, 4), (97, 4), (98, 4)] {
+            let c = Counts::bias_one(n, k);
+            assert_eq!(c.n(), n, "n mismatch at ({n},{k})");
+            assert_eq!(c.k(), k);
+            assert_eq!(c.bias(), 1, "bias at ({n},{k}): {:?}", c.supports());
+            assert_eq!(c.plurality(), 1);
+        }
+    }
+
+    #[test]
+    fn bias_one_parity_exception_for_two_opinions() {
+        // Two opinions with an even population cannot differ by 1.
+        let c = Counts::bias_one(40, 2);
+        assert_eq!(c.n(), 40);
+        assert_eq!(c.bias(), 2);
+        assert_eq!(c.plurality(), 1);
+    }
+
+    #[test]
+    fn adversarial_bias_hits_requested_gap() {
+        let c = Counts::adversarial_bias(1000, 5, 4);
+        assert_eq!(c.n(), 1000);
+        assert!(c.bias() >= 4 && c.bias() <= 5);
+        assert_eq!(c.plurality(), 1);
+    }
+
+    #[test]
+    fn one_large_dominates() {
+        let c = Counts::one_large(10_000, 50, 400);
+        assert_eq!(c.n(), 10_000);
+        assert_eq!(c.x_max(), 400);
+        assert_eq!(c.plurality(), 1);
+        // Others share ~9600 over 49 opinions ≈ 196.
+        assert!(c.support(2) < 400);
+    }
+
+    #[test]
+    fn zipf_sums_to_n_with_unique_plurality() {
+        for s in [0.5, 1.0, 2.0] {
+            let c = Counts::zipf(5000, 20, s);
+            assert_eq!(c.n(), 5000);
+            assert_eq!(c.plurality(), 1);
+            assert!(c.bias() >= 1);
+        }
+    }
+
+    #[test]
+    fn geometric_sums_to_n() {
+        let c = Counts::geometric(2000, 10, 0.5);
+        assert_eq!(c.n(), 2000);
+        assert_eq!(c.plurality(), 1);
+        assert!(c.support(1) > c.support(10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_plurality_rejected() {
+        let _ = Counts::from_supports(vec![5, 5, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_opinion_rejected() {
+        let _ = Counts::from_supports(vec![5, 0, 2]);
+    }
+}

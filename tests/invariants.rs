@@ -1,0 +1,119 @@
+//! Property-based invariants spanning crates.
+
+use exact_plurality::clocks::leaderless::circular_spread;
+use exact_plurality::clocks::{LeaderlessClock, PhaseSchedule};
+use exact_plurality::dynamics::balance;
+use exact_plurality::majority::cancel_split::total_value;
+use exact_plurality::majority::{CancelSplit, Verdict};
+use exact_plurality::workloads::Counts;
+use proptest::prelude::*;
+
+proptest! {
+    /// Discrete averaging preserves the sum and never widens the range.
+    #[test]
+    fn balance_preserves_sum_and_contracts(a in -1000i64..1000, b in -1000i64..1000) {
+        let (x, y) = balance(a, b);
+        prop_assert_eq!(x + y, a + b);
+        prop_assert!(x >= a.min(b) && y <= a.max(b));
+        prop_assert!(y - x <= 1 && y >= x);
+    }
+
+    /// Counts generators always produce a unique plurality and exact totals.
+    #[test]
+    fn counts_generators_are_well_formed(n in 60usize..4000, k in 2usize..12) {
+        prop_assume!(n >= 2 * k);
+        for c in [
+            Counts::bias_one(n, k),
+            Counts::zipf(n, k, 1.0),
+            Counts::geometric(n, k, 0.6),
+        ] {
+            prop_assert_eq!(c.n(), n);
+            prop_assert_eq!(c.k(), k);
+            prop_assert!(c.bias() >= 1);
+            prop_assert!(c.supports().iter().all(|&x| x >= 1));
+        }
+    }
+
+    /// one_large keeps the requested plurality support exactly.
+    #[test]
+    fn one_large_is_exact(k in 3usize..20, xmax in 200usize..800) {
+        let n = 2000usize;
+        prop_assume!(xmax > n / (k - 1) + 1);
+        let c = Counts::one_large(n, k, xmax);
+        prop_assert_eq!(c.x_max(), xmax);
+        prop_assert_eq!(c.n(), n);
+    }
+
+    /// The cancel/split majority's signed total is invariant for the whole
+    /// undeclared epoch, under arbitrary interaction sequences.
+    #[test]
+    fn majority_value_invariant(
+        seed in 0u64..1000,
+        a in 1usize..30,
+        b in 1usize..30,
+        u in 0usize..30,
+        steps in 0usize..3000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let n = a + b + u;
+        prop_assume!(n >= 2);
+        // Window large enough that nobody declares within `steps`.
+        let cfg = CancelSplit::with_tail(6, 10_000, 0);
+        let mut states = Vec::new();
+        states.extend(std::iter::repeat(cfg.init_state(Verdict::A)).take(a));
+        states.extend(std::iter::repeat(cfg.init_state(Verdict::B)).take(b));
+        states.extend(std::iter::repeat(cfg.init_state(Verdict::Tie)).take(u));
+        let before = total_value(&cfg, &states);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            let i = rng.gen_range(0..n);
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i { j += 1; }
+            let (lo, hi) = states.split_at_mut(i.max(j));
+            let (x, y) = if i < j { (&mut lo[i], &mut hi[0]) } else { (&mut hi[0], &mut lo[j]) };
+            cfg.interact(x, y);
+        }
+        prop_assert_eq!(total_value(&cfg, &states), before);
+        // Levels never exceed the cap, signs stay in {-1,0,1}.
+        for s in &states {
+            prop_assert!(s.level <= cfg.levels());
+            prop_assert!((-1..=1).contains(&s.sign));
+        }
+    }
+
+    /// The leaderless clock keeps every counter within the period and the
+    /// catch-up rule advances exactly one counter by exactly one.
+    #[test]
+    fn leaderless_clock_steps_are_unit(ga in 0u32..64, gb in 0u32..64) {
+        let clock = LeaderlessClock::new(64);
+        let (mut a, mut b) = (ga, gb);
+        clock.interact(&mut a, &mut b);
+        let moved = (a != ga) as u32 + (b != gb) as u32;
+        prop_assert_eq!(moved, 1);
+        prop_assert!(a < 64 && b < 64);
+        let diff_a = (a + 64 - ga) % 64;
+        let diff_b = (b + 64 - gb) % 64;
+        prop_assert!(diff_a <= 1 && diff_b <= 1);
+    }
+
+    /// Phase schedules partition the period.
+    #[test]
+    fn schedule_partitions_period(lengths in prop::collection::vec(1u32..40, 1..12)) {
+        let s = PhaseSchedule::from_lengths(&lengths);
+        let mut counts = vec![0u32; lengths.len()];
+        for g in 0..s.period() {
+            counts[s.phase_of(g) as usize] += 1;
+        }
+        prop_assert_eq!(counts, lengths);
+    }
+
+    /// Circular spread is 0 for singletons and bounded by the period.
+    #[test]
+    fn spread_bounds(vals in prop::collection::vec(0u32..100, 1..50)) {
+        let spread = circular_spread(&vals, 100);
+        prop_assert!(spread < 100);
+        if vals.iter().all(|&v| v == vals[0]) {
+            prop_assert_eq!(spread, 0);
+        }
+    }
+}
