@@ -80,7 +80,11 @@ impl pp_engine::TableProtocol for UsdTable {
         self.k + 1
     }
 
-    fn delta(&self, a: usize, b: usize) -> (usize, usize) {
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn delta(&self, a: usize, b: usize, _rng: &mut SimRng) -> (usize, usize) {
         match (a, b) {
             (0, 0) => (0, 0),
             (x, 0) => (x, x),
@@ -132,7 +136,11 @@ mod tests {
         let mut sim = Simulation::new(Usd, states, 5);
         let r = sim.run(&RunOptions::with_parallel_time_budget(a.n(), 10_000.0));
         assert_eq!(r.status, RunStatus::Converged);
-        assert!(r.parallel_time < 20.0 * (a.n() as f64).ln(), "time {}", r.parallel_time);
+        assert!(
+            r.parallel_time < 20.0 * (a.n() as f64).ln(),
+            "time {}",
+            r.parallel_time
+        );
     }
 
     #[test]
@@ -152,7 +160,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong > 5, "USD should fail regularly at bias 1, failed {wrong}/{trials}");
+        assert!(
+            wrong > 5,
+            "USD should fail regularly at bias 1, failed {wrong}/{trials}"
+        );
     }
 
     #[test]
@@ -164,8 +175,12 @@ mod tests {
             for b in 0u16..5 {
                 let (mut x, mut y) = (a, b);
                 p.interact(0, &mut x, &mut y, &mut rng);
-                let (tx, ty) = t.delta(usize::from(a), usize::from(b));
-                assert_eq!((usize::from(x), usize::from(y)), (tx, ty), "mismatch at ({a},{b})");
+                let (tx, ty) = t.delta(usize::from(a), usize::from(b), &mut rng);
+                assert_eq!(
+                    (usize::from(x), usize::from(y)),
+                    (tx, ty),
+                    "mismatch at ({a},{b})"
+                );
             }
         }
     }
@@ -175,7 +190,10 @@ mod tests {
         let t = UsdTable::new(3);
         let counts = t.initial_counts(&[600_000, 250_000, 150_000]);
         let mut sim = BatchSimulation::new(t, counts, 21);
-        let r = sim.run(&RunOptions { max_interactions: 300_000_000, check_every: 0 });
+        let r = sim.run(&RunOptions {
+            max_interactions: 300_000_000,
+            check_every: 0,
+        });
         assert_eq!(r.status, RunStatus::Converged);
         assert_eq!(r.output, Some(1));
     }

@@ -3,14 +3,19 @@
 //!
 //! These are *performance* benchmarks (interactions per second), not
 //! reproduction experiments; the paper's tables live in the `x*` binaries
-//! and the `paper_experiments` bench.
+//! and the `paper_experiments` bench. The `configuration_space` group
+//! pits the seed-style per-pair batch engine against the multinomial
+//! engine on identical inputs — the acceptance bar for the batched
+//! rewrite is ≥ 10× interactions/sec on 3-state majority at `n = 10⁶`
+//! (see `BENCH_engine.json` for the recorded snapshot).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use plurality_core::{ImprovedAlgorithm, SimpleAlgorithm, Tuning, UnorderedAlgorithm};
-use pp_baselines::Usd;
+use pp_baselines::{Usd, UsdTable};
 use pp_dynamics::{Epidemic, LoadBalance};
-use pp_engine::{Protocol, Simulation};
+use pp_engine::{BatchSimulation, PairwiseBatchSimulation, Protocol, Simulation};
 use pp_majority::cancel_split::CancelSplitRun;
+use pp_majority::ThreeState;
 use pp_workloads::Counts;
 
 const STEPS: u64 = 100_000;
@@ -37,6 +42,76 @@ fn bench_steps<P: Protocol>(c: &mut Criterion, name: &str, make: impl Fn() -> (P
     group.finish();
 }
 
+/// Throughput of a configuration-space engine: interactions/sec while
+/// advancing `target` interactions from a fresh configuration.
+fn bench_config_engine<S>(
+    c: &mut Criterion,
+    name: &str,
+    target: u64,
+    make: impl Fn() -> S,
+    step: impl Fn(&mut S) -> u64 + Copy,
+) {
+    let mut group = c.benchmark_group("configuration_space");
+    group.throughput(Throughput::Elements(target));
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            &make,
+            |mut sim| {
+                let mut done = 0;
+                while done < target {
+                    done += step(&mut sim);
+                }
+                sim
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn config_space_benches(c: &mut Criterion) {
+    let n = 1_000_000u64;
+    let majority = || vec![0u64, n * 3 / 5, n * 2 / 5];
+    // The seed engine: per-pair draws, linear-scan sampling.
+    bench_config_engine(
+        c,
+        "majority3_pairwise_n1e6",
+        1_000_000,
+        || PairwiseBatchSimulation::new(ThreeState, majority(), 42),
+        PairwiseBatchSimulation::step_batch,
+    );
+    // The multinomial engine on the same input.
+    bench_config_engine(
+        c,
+        "majority3_multinomial_n1e6",
+        1_000_000,
+        || BatchSimulation::new(ThreeState, majority(), 42),
+        BatchSimulation::step_batch,
+    );
+    // USD at k = 64: the Θ(S)-per-draw cost of the seed engine vs the
+    // Fenwick/binomial path (65 states).
+    let k = 64usize;
+    let usd_counts = || {
+        let table = UsdTable::new(k);
+        table.initial_counts(&vec![(n as usize) / k; k])
+    };
+    bench_config_engine(
+        c,
+        "usd_k64_pairwise_n1e6",
+        1_000_000,
+        || PairwiseBatchSimulation::new(UsdTable::new(k), usd_counts(), 42),
+        PairwiseBatchSimulation::step_batch,
+    );
+    bench_config_engine(
+        c,
+        "usd_k64_multinomial_n1e6",
+        1_000_000,
+        || BatchSimulation::new(UsdTable::new(k), usd_counts(), 42),
+        BatchSimulation::step_batch,
+    );
+}
+
 fn benches(c: &mut Criterion) {
     let n = 10_000;
 
@@ -50,7 +125,9 @@ fn benches(c: &mut Criterion) {
         let counts = Counts::bias_one(n, 8);
         (Usd, Usd::initial_states(counts.assignment().opinions()))
     });
-    bench_steps(c, "cancel_split", || CancelSplitRun::new(n / 2 + 1, n / 2 - 1, 0, 12));
+    bench_steps(c, "cancel_split", || {
+        CancelSplitRun::new(n / 2 + 1, n / 2 - 1, 0, 12)
+    });
     bench_steps(c, "simple_k8", || {
         let counts = Counts::bias_one(n, 8);
         SimpleAlgorithm::new(&counts.assignment(), Tuning::default())
@@ -65,5 +142,5 @@ fn benches(c: &mut Criterion) {
     });
 }
 
-criterion_group!(micro, benches);
+criterion_group!(micro, benches, config_space_benches);
 criterion_main!(micro);

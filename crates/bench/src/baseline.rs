@@ -1,0 +1,76 @@
+//! The shared USD baseline arm for scaling experiments.
+//!
+//! x01/x04 (and x13's large-`n` rows) contrast the paper's exact
+//! protocols with undecided-state dynamics on identical inputs. The arm
+//! runs on the batched configuration-space engine by default — the only
+//! way to reach `n = 10⁸` — with `--engine seq` as the sequential A/B.
+
+use pp_stats::{Summary, Table};
+use pp_workloads::Counts;
+
+use crate::harness::{Engine, ExpOpts};
+use crate::protocols::run_usd_trial;
+
+/// Largest population the sequential engine is allowed on (per-agent state
+/// at 10⁸ agents is hundreds of megabytes per trial and hours of walltime).
+const SEQ_CAP: usize = 1_000_000;
+
+/// Run the USD baseline arm over `grid` (extended to `n = 10⁸` under
+/// `--full`), print the table and write `<csv_name>.csv`.
+pub fn run_usd_baseline(
+    opts: &ExpOpts,
+    mut grid: Vec<usize>,
+    k: usize,
+    experiment: &str,
+    csv_name: &str,
+    stream_base: u64,
+) {
+    if opts.full {
+        grid.extend([1_000_000, 100_000_000]);
+        if opts.engine == Engine::Seq {
+            grid.retain(|&n| n <= SEQ_CAP);
+            eprintln!("  [baseline] --engine seq: capping the USD grid at n = 10⁶");
+        }
+    }
+    let mut table = Table::new(
+        format!(
+            "{experiment}-baseline: USD on bias-1 inputs ({} engine)",
+            opts.engine.name()
+        ),
+        &["n", "k", "engine", "ok", "median", "mean", "ci95", "t/ln n"],
+    );
+    for (i, &n) in grid.iter().enumerate() {
+        let counts = Counts::bias_one(n, k);
+        let outcomes = opts.run_trials(stream_base + i as u64, |seed| {
+            run_usd_trial(opts.engine, &counts, seed, 1.0e4)
+        });
+        let ok = outcomes.iter().filter(|o| o.correct).count();
+        let times: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.converged)
+            .map(|o| o.parallel_time)
+            .collect();
+        if times.is_empty() {
+            eprintln!("  [baseline] n={n}: no convergence!");
+            continue;
+        }
+        let s = Summary::of(&times);
+        table.push(vec![
+            n.to_string(),
+            k.to_string(),
+            opts.engine.name().into(),
+            format!("{ok}/{}", outcomes.len()),
+            format!("{:.1}", s.median),
+            format!("{:.1}", s.mean),
+            format!("{:.1}", s.ci95()),
+            format!("{:.2}", s.median / (n as f64).ln()),
+        ]);
+        eprintln!(
+            "  [baseline] n={n}: median {:.1} (ok {ok}/{})",
+            s.median,
+            outcomes.len()
+        );
+    }
+    table.print();
+    table.write_csv(opts.csv_path(csv_name)).expect("write csv");
+}

@@ -28,11 +28,20 @@ fn main() {
                     fin += usize::from(s.fin);
                     le += usize::from(s.le_done);
                 }
-                let collectors = states.iter().filter(|s| matches!(s.role, Role::Collector(_))).count();
-                println!("t={:>9.0} phases={phases:?} coll={collectors} le={le} fin={fin} win={winners}", t as f64 / n as f64);
+                let collectors = states
+                    .iter()
+                    .filter(|s| matches!(s.role, Role::Collector(_)))
+                    .count();
+                println!(
+                    "t={:>9.0} phases={phases:?} coll={collectors} le={le} fin={fin} win={winners}",
+                    t as f64 / n as f64
+                );
                 next = t + (n as u64) * 500;
             }
         },
     );
-    println!("result: {r:?}\nmilestones: {:?}", sim.protocol().milestones());
+    println!(
+        "result: {r:?}\nmilestones: {:?}",
+        sim.protocol().milestones()
+    );
 }

@@ -12,9 +12,14 @@ fn main() {
                 let n = states.len();
                 let mut sim = Simulation::new(proto, states, seed);
                 let r = sim.run(&RunOptions::with_parallel_time_budget(n, 100_000.0));
-                if r.output != Some(1) { wrong += 1; }
+                if r.output != Some(1) {
+                    wrong += 1;
+                }
             }
-            println!("n={} window={window}: {wrong}/{trials} wrong", 2*n_half+1);
+            println!(
+                "n={} window={window}: {wrong}/{trials} wrong",
+                2 * n_half + 1
+            );
         }
     }
 }

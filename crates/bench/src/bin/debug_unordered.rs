@@ -28,10 +28,10 @@ fn snapshot(t: u64, n: usize, states: &[Agent]) -> String {
                     *winners.entry(c.opinion).or_insert(0usize) += 1;
                 }
             }
-            Role::Tracker(tr) => {
-                if tr.slot_kind != SlotKind::Empty {
-                    *slots.entry((tr.slot_kind as u8, tr.slot_op)).or_insert(0usize) += 1;
-                }
+            Role::Tracker(tr) if tr.slot_kind != SlotKind::Empty => {
+                *slots
+                    .entry((tr.slot_kind as u8, tr.slot_op))
+                    .or_insert(0usize) += 1;
             }
             Role::Player(pl) => match pl.po {
                 pp_majority::Verdict::A => players[0] += 1,
@@ -41,7 +41,11 @@ fn snapshot(t: u64, n: usize, states: &[Agent]) -> String {
             _ => {}
         }
     }
-    let phase_mode = phases.iter().max_by_key(|(_, &c)| c).map(|(&p, _)| p).unwrap_or(-9);
+    let phase_mode = phases
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(&p, _)| p)
+        .unwrap_or(-9);
     format!(
         "t={:>7.0} ph={phase_mode} def={defenders:?} chal={challengers:?} A/B/U={players:?} fin={fin} win={winners:?}",
         t as f64 / n as f64
@@ -55,7 +59,11 @@ fn main() {
     let k: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3);
     let counts = Counts::bias_one(n, k);
     let assignment = counts.assignment();
-    eprintln!("supports: {:?} plurality {}", counts.supports(), assignment.plurality());
+    eprintln!(
+        "supports: {:?} plurality {}",
+        counts.supports(),
+        assignment.plurality()
+    );
     let (proto, states) = UnorderedAlgorithm::new(&assignment, Tuning::default());
     let mut sim = Simulation::new(proto, states, seed);
     let mut next_report = 0u64;
@@ -66,7 +74,7 @@ fn main() {
             if t >= next_report {
                 let line = snapshot(t, n, states);
                 // Only print when the interesting content changed.
-                let key: String = line.splitn(2, ' ').nth(1).unwrap_or("").to_string();
+                let key: String = line.split_once(' ').map(|x| x.1).unwrap_or("").to_string();
                 if key != last {
                     println!("{line}");
                     last = key;
@@ -75,6 +83,9 @@ fn main() {
             }
         },
     );
-    println!("result: {r:?} milestones: {:?}", sim.protocol().milestones());
+    println!(
+        "result: {r:?} milestones: {:?}",
+        sim.protocol().milestones()
+    );
     println!("expected plurality: {}", assignment.plurality());
 }

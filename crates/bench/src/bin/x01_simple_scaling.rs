@@ -4,8 +4,13 @@
 //! configuration we report the median parallel time; the summary fits
 //! `time ≈ a·k·ln n` and reports the constant and R². The paper's claim
 //! holds if the fit is tight (R² near 1) and the constant stable.
+//!
+//! A USD baseline arm runs on the same inputs through the batched
+//! configuration-space engine (`--engine seq` for the sequential A/B);
+//! with `--full` its grid extends to `n = 10⁸`, far beyond what the
+//! per-agent protocols can reach.
 
-use plurality_bench::{run_trial, Algo, ExpOpts};
+use plurality_bench::{run_trial, run_usd_baseline, Algo, ExpOpts};
 use plurality_core::Tuning;
 use pp_stats::{fit_through_origin, Summary, Table};
 use pp_workloads::Counts;
@@ -13,14 +18,27 @@ use pp_workloads::Counts;
 fn main() {
     let opts = ExpOpts::from_args();
     let (n_grid, k_grid, fixed_k, fixed_n): (Vec<usize>, Vec<usize>, usize, usize) = if opts.full {
-        (vec![1000, 2000, 4000, 8000, 16000], vec![2, 3, 4, 6, 8, 12], 3, 4000)
+        (
+            vec![1000, 2000, 4000, 8000, 16000],
+            vec![2, 3, 4, 6, 8, 12],
+            3,
+            4000,
+        )
     } else {
         (vec![600, 1200, 2400], vec![2, 3, 4, 6], 3, 1200)
     };
-
     let mut table = Table::new(
         "X1: SimpleAlgorithm parallel time on bias-1 inputs",
-        &["sweep", "n", "k", "ok", "median", "mean", "ci95", "t/(k·ln n)"],
+        &[
+            "sweep",
+            "n",
+            "k",
+            "ok",
+            "median",
+            "mean",
+            "ci95",
+            "t/(k·ln n)",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -28,11 +46,22 @@ fn main() {
     let mut measure = |sweep: &str, n: usize, k: usize, stream: u64| {
         let counts = Counts::bias_one(n, k);
         let budget = 4.0e3 * k as f64 + 2.0e4;
-        let outcomes =
-            opts.run_trials(stream, |seed| run_trial(Algo::Simple, &counts, seed, budget, Tuning::default(), false));
+        let outcomes = opts.run_trials(stream, |seed| {
+            run_trial(
+                Algo::Simple,
+                &counts,
+                seed,
+                budget,
+                Tuning::default(),
+                false,
+            )
+        });
         let ok = outcomes.iter().filter(|o| o.correct).count();
-        let times: Vec<f64> =
-            outcomes.iter().filter(|o| o.converged).map(|o| o.parallel_time).collect();
+        let times: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.converged)
+            .map(|o| o.parallel_time)
+            .collect();
         if times.is_empty() {
             eprintln!("  [{sweep}] n={n} k={k}: no convergence!");
             return;
@@ -51,7 +80,11 @@ fn main() {
             format!("{:.0}", s.ci95()),
             format!("{:.1}", s.median / x),
         ]);
-        eprintln!("  [{sweep}] n={n} k={k}: median {:.0} (ok {ok}/{})", s.median, outcomes.len());
+        eprintln!(
+            "  [{sweep}] n={n} k={k}: median {:.0} (ok {ok}/{})",
+            s.median,
+            outcomes.len()
+        );
     };
 
     for (i, &n) in n_grid.iter().enumerate() {
@@ -67,5 +100,18 @@ fn main() {
         "fit: time ≈ {:.2} · k·ln n   (R² = {:.4}) — Theorem 1(1) predicts a linear law",
         fit.a, fit.r2
     );
-    table.write_csv(opts.csv_path("x01_simple_scaling")).expect("write csv");
+    table
+        .write_csv(opts.csv_path("x01_simple_scaling"))
+        .expect("write csv");
+
+    // Baseline arm: USD on the same bias-1 inputs. Fast but approximate —
+    // the ok column collapsing towards a lottery is the paper's motivation.
+    run_usd_baseline(
+        &opts,
+        n_grid,
+        fixed_k,
+        "X1",
+        "x01_simple_scaling_baseline",
+        200,
+    );
 }

@@ -16,7 +16,12 @@ use pp_workloads::Counts;
 fn main() {
     let opts = ExpOpts::from_args();
     let (n_grid, k_grid, fixed_k, fixed_n): (Vec<usize>, Vec<usize>, usize, usize) = if opts.full {
-        (vec![500, 1000, 2000, 4000, 8000], vec![2, 4, 8, 16, 32], 4, 2000)
+        (
+            vec![500, 1000, 2000, 4000, 8000],
+            vec![2, 4, 8, 16, 32],
+            4,
+            2000,
+        )
     } else {
         (vec![500, 1000, 2000], vec![2, 4, 8], 4, 1000)
     };
@@ -24,14 +29,24 @@ fn main() {
 
     let mut table = Table::new(
         "X2/X6: distinct states visited (max over trials)",
-        &["algo", "sweep", "n", "k", "states", "states/k", "states/ln n", "k^2 (lower bd.)"],
+        &[
+            "algo",
+            "sweep",
+            "n",
+            "k",
+            "states",
+            "states/k",
+            "states/ln n",
+            "k^2 (lower bd.)",
+        ],
     );
 
     let mut measure = |algo: Algo, sweep: &str, n: usize, k: usize, stream: u64| {
         let counts = Counts::bias_one(n, k);
         let budget = 5.0e3 * k as f64 + 3.0e4;
-        let outcomes = opts
-            .run_trials(stream, |seed| run_trial(algo, &counts, seed, budget, Tuning::default(), true));
+        let outcomes = opts.run_trials(stream, |seed| {
+            run_trial(algo, &counts, seed, budget, Tuning::default(), true)
+        });
         let states = outcomes.iter().filter_map(|o| o.census).max().unwrap_or(0);
         table.push(vec![
             algo.name().into(),
@@ -51,7 +66,13 @@ fn main() {
             measure(algo, "k-sweep", fixed_n, k, (algo as u64) << 32 | i as u64);
         }
         for (i, &n) in n_grid.iter().enumerate() {
-            measure(algo, "n-sweep", n, fixed_k, (algo as u64) << 32 | (100 + i as u64));
+            measure(
+                algo,
+                "n-sweep",
+                n,
+                fixed_k,
+                (algo as u64) << 32 | (100 + i as u64),
+            );
         }
     }
 
@@ -61,5 +82,7 @@ fn main() {
          protocols, with Improved paying an extra loglog-factor on the k term — well below \
          the always-correct Ω(k²) state bound shown in the last column."
     );
-    table.write_csv(opts.csv_path("x02_state_census")).expect("write csv");
+    table
+        .write_csv(opts.csv_path("x02_state_census"))
+        .expect("write csv");
 }

@@ -16,7 +16,16 @@ use pp_workloads::Counts;
 fn main() {
     let opts = ExpOpts::from_args();
     let grid: Vec<(usize, usize)> = if opts.full {
-        vec![(1001, 2), (2001, 2), (4001, 2), (1000, 4), (2000, 4), (4000, 8), (8001, 2), (8000, 8)]
+        vec![
+            (1001, 2),
+            (2001, 2),
+            (4001, 2),
+            (1000, 4),
+            (2000, 4),
+            (4000, 8),
+            (8001, 2),
+            (8000, 8),
+        ]
     } else {
         vec![(601, 2), (1201, 2), (900, 3), (1800, 6)]
     };
@@ -24,17 +33,27 @@ fn main() {
 
     let mut table = Table::new(
         "X3: exactness at bias 1 (success rate over trials, Wilson 95%)",
-        &["algo", "n", "k", "bias", "ok", "trials", "rate", "lo", "hi", "median time"],
+        &[
+            "algo",
+            "n",
+            "k",
+            "bias",
+            "ok",
+            "trials",
+            "rate",
+            "lo",
+            "hi",
+            "median time",
+        ],
     );
 
     for (stream, &(n, k)) in grid.iter().enumerate() {
         let counts = Counts::bias_one(n, k);
         let budget = 4.0e3 * k as f64 + 4.0e4;
         for algo in algos {
-            let outcomes = opts.run_trials(
-                (stream as u64) << 8 | algo as u64,
-                |seed| run_trial(algo, &counts, seed, budget, Tuning::default(), false),
-            );
+            let outcomes = opts.run_trials((stream as u64) << 8 | algo as u64, |seed| {
+                run_trial(algo, &counts, seed, budget, Tuning::default(), false)
+            });
             let ok = outcomes.iter().filter(|o| o.correct).count();
             let (lo, hi) = wilson_interval(ok, outcomes.len(), 1.96);
             let mut times: Vec<f64> = outcomes.iter().map(|o| o.parallel_time).collect();
@@ -61,5 +80,7 @@ fn main() {
     }
 
     table.print();
-    table.write_csv(opts.csv_path("x03_exactness")).expect("write csv");
+    table
+        .write_csv(opts.csv_path("x03_exactness"))
+        .expect("write csv");
 }

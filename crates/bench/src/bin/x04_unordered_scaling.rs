@@ -5,8 +5,12 @@
 //! (leader election + defender selection) separately. The paper's claim:
 //! total ≈ O(k·log n + log² n). The LE share dominates at small k and
 //! washes out as k grows — exactly the additive structure of the bound.
+//!
+//! A USD baseline arm runs the k-sweep inputs on the batched
+//! configuration-space engine (`--engine seq` for the sequential A/B);
+//! with `--full` it extends to `n = 10⁸`.
 
-use plurality_bench::{run_trial, Algo, ExpOpts};
+use plurality_bench::{run_trial, run_usd_baseline, Algo, ExpOpts};
 use plurality_core::Tuning;
 use pp_stats::{fit_affine, Summary, Table};
 use pp_workloads::Counts;
@@ -21,7 +25,16 @@ fn main() {
 
     let mut table = Table::new(
         "X4: UnorderedAlgorithm parallel time (total and leader-election share)",
-        &["sweep", "n", "k", "ok", "median total", "median LE", "LE share", "t/(k·lnn + ln²n)"],
+        &[
+            "sweep",
+            "n",
+            "k",
+            "ok",
+            "median total",
+            "median LE",
+            "LE share",
+            "t/(k·lnn + ln²n)",
+        ],
     );
     let mut le_xs = Vec::new();
     let mut le_ys = Vec::new();
@@ -30,11 +43,21 @@ fn main() {
         let counts = Counts::bias_one(n, k);
         let budget = 5.0e3 * k as f64 + 5.0e4;
         let outcomes = opts.run_trials(stream, |seed| {
-            run_trial(Algo::Unordered, &counts, seed, budget, Tuning::default(), false)
+            run_trial(
+                Algo::Unordered,
+                &counts,
+                seed,
+                budget,
+                Tuning::default(),
+                false,
+            )
         });
         let ok = outcomes.iter().filter(|o| o.correct).count();
-        let times: Vec<f64> =
-            outcomes.iter().filter(|o| o.converged).map(|o| o.parallel_time).collect();
+        let times: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.converged)
+            .map(|o| o.parallel_time)
+            .collect();
         let le_times: Vec<f64> = outcomes
             .iter()
             .filter_map(|o| o.le_done.map(|t| t as f64 / n as f64))
@@ -59,7 +82,10 @@ fn main() {
             format!("{:.2}", le.median / s.median),
             format!("{:.1}", s.median / model),
         ]);
-        eprintln!("  [{sweep}] n={n} k={k}: total {:.0}, LE {:.0}", s.median, le.median);
+        eprintln!(
+            "  [{sweep}] n={n} k={k}: total {:.0}, LE {:.0}",
+            s.median, le.median
+        );
     };
 
     for (i, &n) in n_grid.iter().enumerate() {
@@ -76,5 +102,18 @@ fn main() {
          O(log² n) term of Theorem 1(2)",
         fit.a, fit.b, fit.r2
     );
-    table.write_csv(opts.csv_path("x04_unordered_scaling")).expect("write csv");
+    table
+        .write_csv(opts.csv_path("x04_unordered_scaling"))
+        .expect("write csv");
+
+    // Baseline arm: USD over the same n-sweep (configuration-space engine
+    // reaches 10⁸ agents; the per-agent protocols above stop at 10⁴).
+    run_usd_baseline(
+        &opts,
+        n_grid,
+        fixed_k,
+        "X4",
+        "x04_unordered_scaling_baseline",
+        300,
+    );
 }

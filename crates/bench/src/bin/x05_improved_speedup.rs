@@ -22,7 +22,16 @@ fn main() {
 
     let mut table = Table::new(
         "X5: Improved vs Unordered on one-large-many-small inputs",
-        &["n", "k", "x_max", "n/x_max", "algo", "ok", "median time", "speedup"],
+        &[
+            "n",
+            "k",
+            "x_max",
+            "n/x_max",
+            "algo",
+            "ok",
+            "median time",
+            "speedup",
+        ],
     );
 
     for (i, &x_max) in xmax_grid.iter().enumerate() {
@@ -34,11 +43,22 @@ fn main() {
                 run_trial(algo, &counts, seed, budget, Tuning::default(), false)
             });
             let ok = outcomes.iter().filter(|o| o.correct).count();
-            let times: Vec<f64> =
-                outcomes.iter().filter(|o| o.converged).map(|o| o.parallel_time).collect();
-            let median = if times.is_empty() { f64::NAN } else { Summary::of(&times).median };
+            let times: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| o.converged)
+                .map(|o| o.parallel_time)
+                .collect();
+            let median = if times.is_empty() {
+                f64::NAN
+            } else {
+                Summary::of(&times).median
+            };
             medians[j] = median;
-            let speedup = if j == 1 { format!("{:.2}x", medians[0] / medians[1]) } else { "-".into() };
+            let speedup = if j == 1 {
+                format!("{:.2}x", medians[0] / medians[1])
+            } else {
+                "-".into()
+            };
             table.push(vec![
                 n.to_string(),
                 k.to_string(),
@@ -49,7 +69,10 @@ fn main() {
                 format!("{median:.0}"),
                 speedup,
             ]);
-            eprintln!("  x_max={x_max} {}: median {median:.0} (ok {ok})", algo.name());
+            eprintln!(
+                "  x_max={x_max} {}: median {median:.0} (ok {ok})",
+                algo.name()
+            );
         }
     }
 
@@ -58,5 +81,7 @@ fn main() {
         "Read: improved time tracks n/x_max (falling down the column) while unordered stays \
          ~flat; the crossover factor approaches k·x_max/n as predicted by Theorem 2."
     );
-    table.write_csv(opts.csv_path("x05_improved_speedup")).expect("write csv");
+    table
+        .write_csv(opts.csv_path("x05_improved_speedup"))
+        .expect("write csv");
 }

@@ -4,9 +4,9 @@
 //! `O(n·(k + log n))` interactions, (2) at that moment every role holds at
 //! least ~n/10 agents, (3) all opinion-1 collectors carry the defender bit.
 
+use plurality_bench::ExpOpts;
 use plurality_core::roles::Role;
 use plurality_core::{SimpleAlgorithm, Tuning};
-use plurality_bench::ExpOpts;
 use pp_engine::{RunOptions, Simulation};
 use pp_stats::{Summary, Table};
 use pp_workloads::Counts;
@@ -14,14 +14,29 @@ use pp_workloads::Counts;
 fn main() {
     let opts = ExpOpts::from_args();
     let grid: Vec<(usize, usize)> = if opts.full {
-        vec![(1000, 2), (2000, 2), (4000, 2), (8000, 2), (2000, 8), (2000, 32), (2000, 64)]
+        vec![
+            (1000, 2),
+            (2000, 2),
+            (4000, 2),
+            (8000, 2),
+            (2000, 8),
+            (2000, 32),
+            (2000, 64),
+        ]
     } else {
         vec![(1000, 2), (2000, 2), (2000, 8), (2000, 24)]
     };
 
     let mut table = Table::new(
         "X7: Lemma 3 — initialization end time and role balance",
-        &["n", "k", "median t̂/n", "t̂/(n(k+lnn))·n", "min role frac", "defender bits ok"],
+        &[
+            "n",
+            "k",
+            "median t̂/n",
+            "t̂/(n(k+lnn))·n",
+            "min role frac",
+            "defender bits ok",
+        ],
     );
 
     for (i, &(n, k)) in grid.iter().enumerate() {
@@ -55,10 +70,11 @@ fn main() {
                             Role::Player(_) => roles[3] += 1,
                         }
                     }
-                    let min_frac =
-                        roles.iter().map(|&r| r as f64 / states.len() as f64).fold(1.0, f64::min);
-                    snapshot =
-                        Some((t as f64 / n as f64, min_frac, op1_defenders == op1_total));
+                    let min_frac = roles
+                        .iter()
+                        .map(|&r| r as f64 / states.len() as f64)
+                        .fold(1.0, f64::min);
+                    snapshot = Some((t as f64 / n as f64, min_frac, op1_defenders == op1_total));
                 },
             );
             snapshot.expect("init must end within the budget")
@@ -75,7 +91,10 @@ fn main() {
             format!("{min_frac:.3}"),
             all_defenders.to_string(),
         ]);
-        eprintln!("  n={n} k={k}: t̂={:.1}, min role frac {min_frac:.3}", s.median);
+        eprintln!(
+            "  n={n} k={k}: t̂={:.1}, min role frac {min_frac:.3}",
+            s.median
+        );
     }
 
     table.print();
@@ -83,5 +102,7 @@ fn main() {
         "Read: t̂/n grows like k + ln n (stable ratio column); every role holds ≥ ~0.1 of the \
          population (Lemma 3(2)); opinion-1 collectors all carry the defender bit (Lemma 3(3))."
     );
-    table.write_csv(opts.csv_path("x07_init")).expect("write csv");
+    table
+        .write_csv(opts.csv_path("x07_init"))
+        .expect("write csv");
 }

@@ -17,8 +17,11 @@ fn main() {
     let opts = ExpOpts::from_args();
 
     // ---- Part A: junta sizes. ----
-    let sizes: Vec<usize> =
-        if opts.full { vec![1000, 4000, 16000, 64000] } else { vec![1000, 4000, 16000] };
+    let sizes: Vec<usize> = if opts.full {
+        vec![1000, 4000, 16000, 64000]
+    } else {
+        vec![1000, 4000, 16000]
+    };
     let mut ta = Table::new(
         "X8a: FormJunta — junta size vs population (bound x^0.98)",
         &["x", "median junta", "x^0.98", "junta frac", "median time"],
@@ -43,7 +46,8 @@ fn main() {
         eprintln!("  junta at x={x}: {:.0}", j.median);
     }
     ta.print();
-    ta.write_csv(opts.csv_path("x08a_junta")).expect("write csv");
+    ta.write_csv(opts.csv_path("x08a_junta"))
+        .expect("write csv");
 
     // ---- Part B: subpopulation clock rates. ----
     let n: usize = if opts.full { 16000 } else { 8000 };
@@ -56,19 +60,35 @@ fn main() {
         let x = (n as f64 * frac) as usize;
         let results = opts.run_trials(1000 + i as u64, |seed| {
             let mut opinions = vec![1u16; x];
-            opinions.extend(std::iter::repeat(2u16).take(n - x));
+            opinions.extend(std::iter::repeat_n(2u16, n - x));
             let (proto, states) = SubpopClocks::new(&opinions, 8);
             let mut sim = Simulation::new(proto, states, seed);
             sim.run(&RunOptions::with_parallel_time_budget(n, 4000.0));
             let marks = sim.protocol().first_hour_at[0].clone();
             let gaps: Vec<f64> = marks.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
-            (marks.len(), if gaps.is_empty() { f64::NAN } else { Summary::of(&gaps).median })
+            (
+                marks.len(),
+                if gaps.is_empty() {
+                    f64::NAN
+                } else {
+                    Summary::of(&gaps).median
+                },
+            )
         });
         let hours: Vec<f64> = results.iter().map(|r| r.0 as f64).collect();
-        let spacings: Vec<f64> =
-            results.iter().map(|r| r.1).filter(|v| v.is_finite()).collect();
+        let spacings: Vec<f64> = results
+            .iter()
+            .map(|r| r.1)
+            .filter(|v| v.is_finite())
+            .collect();
         if spacings.is_empty() {
-            tb.push(vec![n.to_string(), x.to_string(), "0".into(), "-".into(), "-".into()]);
+            tb.push(vec![
+                n.to_string(),
+                x.to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let sp = Summary::of(&spacings).median;
@@ -86,5 +106,6 @@ fn main() {
         "Read: spacing·x_j/n² is ~constant across rows — the Lemma 7 law \
          spacing = Θ((n²/x_j)·log n) at fixed n."
     );
-    tb.write_csv(opts.csv_path("x08b_subpop_clocks")).expect("write csv");
+    tb.write_csv(opts.csv_path("x08b_subpop_clocks"))
+        .expect("write csv");
 }

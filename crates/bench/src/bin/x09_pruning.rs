@@ -29,7 +29,12 @@ struct PruneStats {
 fn main() {
     let opts = ExpOpts::from_args();
     let grid: Vec<(usize, usize, usize)> = if opts.full {
-        vec![(2000, 11, 800), (4000, 21, 1600), (4000, 31, 1200), (8000, 41, 3200)]
+        vec![
+            (2000, 11, 800),
+            (4000, 21, 1600),
+            (4000, 31, 1200),
+            (8000, 41, 3200),
+        ]
     } else {
         vec![(2000, 11, 800), (4000, 21, 1600)]
     };
@@ -68,8 +73,7 @@ fn main() {
                     for s in states {
                         match &s.role {
                             Role::Collector(c) => {
-                                tokens_by_op[usize::from(c.opinion) - 1] +=
-                                    usize::from(c.tokens)
+                                tokens_by_op[usize::from(c.opinion) - 1] += usize::from(c.tokens)
                             }
                             Role::Clock(_) => workers[0] += 1,
                             Role::Tracker(_) => workers[1] += 1,
@@ -97,11 +101,20 @@ fn main() {
             stats.expect("pruning init must finish within the budget")
         });
 
-        let kept = results.iter().filter(|r| r.plurality_tokens == x_max).count();
-        let mut surv: Vec<f64> = results.iter().map(|r| r.surviving_opinions as f64).collect();
+        let kept = results
+            .iter()
+            .filter(|r| r.plurality_tokens == x_max)
+            .count();
+        let mut surv: Vec<f64> = results
+            .iter()
+            .map(|r| r.surviving_opinions as f64)
+            .collect();
         surv.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let leaks: usize = results.iter().map(|r| r.insignificant_with_tokens).sum();
-        let min_frac = results.iter().map(|r| r.min_worker_frac).fold(1.0, f64::min);
+        let min_frac = results
+            .iter()
+            .map(|r| r.min_worker_frac)
+            .fold(1.0, f64::min);
         let mut t_hats: Vec<f64> = results.iter().map(|r| r.t_hat).collect();
         t_hats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         table.push(vec![
@@ -127,5 +140,7 @@ fn main() {
         "Read: plurality tokens fully conserved; surviving opinions ≈ n/x_max ≪ k; \
          insignificant opinions leak no tokens; worker roles are all ≥ ~0.1·n."
     );
-    table.write_csv(opts.csv_path("x09_pruning")).expect("write csv");
+    table
+        .write_csv(opts.csv_path("x09_pruning"))
+        .expect("write csv");
 }

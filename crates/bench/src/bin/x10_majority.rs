@@ -11,17 +11,28 @@
 use plurality_bench::ExpOpts;
 use pp_engine::{RunOptions, RunStatus, Simulation};
 use pp_majority::{cancel_split::CancelSplitRun, FourState, ThreeState};
-use pp_stats::{Summary, Table, wilson_interval};
+use pp_stats::{wilson_interval, Summary, Table};
 
 fn main() {
     let opts = ExpOpts::from_args();
 
     // ---- Part A: exactness at bias 1 and time scaling in n. ----
-    let sizes: Vec<usize> =
-        if opts.full { vec![1001, 4001, 16001, 64001] } else { vec![1001, 4001, 16001] };
+    let sizes: Vec<usize> = if opts.full {
+        vec![1001, 4001, 16001, 64001]
+    } else {
+        vec![1001, 4001, 16001]
+    };
     let mut ta = Table::new(
         "X10a: bias-1 majority across substrates",
-        &["protocol", "n", "ok", "trials", "rate lo", "median time", "time/ln n"],
+        &[
+            "protocol",
+            "n",
+            "ok",
+            "trials",
+            "rate lo",
+            "median time",
+            "time/ln n",
+        ],
     );
     for (i, &n) in sizes.iter().enumerate() {
         let a = n / 2 + 1;
@@ -52,13 +63,17 @@ fn main() {
                 let states = FourState::initial_states(a, b);
                 let mut sim = Simulation::new(FourState, states, seed);
                 let r = sim.run(&RunOptions::with_parallel_time_budget(n, 5.0e6));
-                (r.status == RunStatus::Converged && r.output == Some(1), r.parallel_time)
+                (
+                    r.status == RunStatus::Converged && r.output == Some(1),
+                    r.parallel_time,
+                )
             });
             push_row(&mut ta, "4-state", n, &fs);
         }
     }
     ta.print();
-    ta.write_csv(opts.csv_path("x10a_majority_bias1")).expect("write csv");
+    ta.write_csv(opts.csv_path("x10a_majority_bias1"))
+        .expect("write csv");
 
     // ---- Part B: 3-state success rate vs bias (the √(n log n) knee). ----
     let n = if opts.full { 16000 } else { 4000 };
@@ -94,7 +109,8 @@ fn main() {
          ≳ √(n·ln n); 4-state is exact but pays Θ(n) time — the trade-off that motivates \
          the paper's w.h.p. protocols."
     );
-    tb.write_csv(opts.csv_path("x10b_three_state_bias")).expect("write csv");
+    tb.write_csv(opts.csv_path("x10b_three_state_bias"))
+        .expect("write csv");
 }
 
 fn push_row(table: &mut Table, name: &str, n: usize, results: &[(bool, f64)]) {

@@ -12,8 +12,11 @@ use rand::SeedableRng;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    let sizes: Vec<usize> =
-        if opts.full { vec![1000, 2000, 4000, 8000, 16000, 32000] } else { vec![1000, 4000, 16000] };
+    let sizes: Vec<usize> = if opts.full {
+        vec![1000, 2000, 4000, 8000, 16000, 32000]
+    } else {
+        vec![1000, 4000, 16000]
+    };
 
     let mut table = Table::new(
         "X11: leader election (junta-clock coin lottery)",
@@ -26,7 +29,10 @@ fn main() {
             let (proto, states) = LeaderElectionRun::new(n, 4, &mut rng);
             let mut sim = Simulation::new(proto, states, seed);
             let r = sim.run(&RunOptions::with_parallel_time_budget(n, 500_000.0));
-            (r.status == RunStatus::Converged && r.output == Some(1), r.parallel_time)
+            (
+                r.status == RunStatus::Converged && r.output == Some(1),
+                r.parallel_time,
+            )
         });
         let unique = results.iter().filter(|r| r.0).count();
         let times: Vec<f64> = results.iter().map(|r| r.1).collect();
@@ -39,10 +45,16 @@ fn main() {
             format!("{:.0}", s.median),
             format!("{:.2}", s.median / (log2n * log2n)),
         ]);
-        eprintln!("  n={n}: unique {unique}/{}, median {:.0}", results.len(), s.median);
+        eprintln!(
+            "  n={n}: unique {unique}/{}, median {:.0}",
+            results.len(),
+            s.median
+        );
     }
 
     table.print();
     println!("Read: exactly one leader in (nearly) every run; time/log²n is ~constant.");
-    table.write_csv(opts.csv_path("x11_leader")).expect("write csv");
+    table
+        .write_csv(opts.csv_path("x11_leader"))
+        .expect("write csv");
 }

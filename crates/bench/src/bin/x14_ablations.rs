@@ -43,7 +43,8 @@ fn main() {
         eprintln!("  scale {f}: {ok}/{}", rs.len());
     }
     ta.print();
-    ta.write_csv(opts.csv_path("x14a_phase_scale")).expect("write csv");
+    ta.write_csv(opts.csv_path("x14a_phase_scale"))
+        .expect("write csv");
 
     // ---- Sweep B: match window. ----
     let mut tb = Table::new(
@@ -51,7 +52,10 @@ fn main() {
         &["window", "ok", "trials", "median time"],
     );
     for (i, window) in [2u32, 4, 6, 10, 16].into_iter().enumerate() {
-        let tuning = Tuning { match_window: window, ..Tuning::default() };
+        let tuning = Tuning {
+            match_window: window,
+            ..Tuning::default()
+        };
         let rs = opts.run_trials(100 + i as u64, |seed| {
             run_trial(Algo::Simple, &counts, seed, budget, tuning, false)
         });
@@ -67,7 +71,8 @@ fn main() {
         eprintln!("  window {window}: {ok}/{}", rs.len());
     }
     tb.print();
-    tb.write_csv(opts.csv_path("x14b_match_window")).expect("write csv");
+    tb.write_csv(opts.csv_path("x14b_match_window"))
+        .expect("write csv");
 
     // ---- Sweep C: merge cap (token capacity). ----
     let mut tc = Table::new(
@@ -75,7 +80,10 @@ fn main() {
         &["cap", "ok", "trials", "median time"],
     );
     for (i, cap) in [2u8, 4, 10, 20].into_iter().enumerate() {
-        let tuning = Tuning { merge_cap: cap, ..Tuning::default() };
+        let tuning = Tuning {
+            merge_cap: cap,
+            ..Tuning::default()
+        };
         let rs = opts.run_trials(200 + i as u64, |seed| {
             run_trial(Algo::Simple, &counts, seed, budget, tuning, false)
         });
@@ -95,5 +103,6 @@ fn main() {
         "Read: defaults sit right of the knee in every sweep; halving the phase budget or \
          the match window degrades correctness smoothly (never catastrophically)."
     );
-    tc.write_csv(opts.csv_path("x14c_merge_cap")).expect("write csv");
+    tc.write_csv(opts.csv_path("x14c_merge_cap"))
+        .expect("write csv");
 }

@@ -17,28 +17,47 @@ use pp_workloads::Counts;
 fn main() {
     let opts = ExpOpts::from_args();
     let n = if opts.full { 1500 } else { 1000 };
-    let ks: Vec<usize> =
-        if opts.full { vec![n / 40, n / 10, n / 5, (n as f64 / 2.5) as usize] } else { vec![n / 40, n / 10, n / 5] };
+    let ks: Vec<usize> = if opts.full {
+        vec![n / 40, n / 10, n / 5, (n as f64 / 2.5) as usize]
+    } else {
+        vec![n / 40, n / 10, n / 5]
+    };
 
     let mut table = Table::new(
         "X15: SimpleAlgorithm at large k (Appendix C decrement rule)",
-        &["n", "k", "tuning", "ok", "trials", "median time", "time/(k·ln n)"],
+        &[
+            "n",
+            "k",
+            "tuning",
+            "ok",
+            "trials",
+            "median time",
+            "time/(k·ln n)",
+        ],
     );
 
     for (i, &k) in ks.iter().enumerate() {
         let counts = Counts::bias_one(n, k);
         let budget = 2.0e3 * k as f64 + 5.0e4;
-        for (j, (name, tuning)) in
-            [("base", Tuning::default()), ("large_k", Tuning::large_k())].into_iter().enumerate()
+        for (j, (name, tuning)) in [("base", Tuning::default()), ("large_k", Tuning::large_k())]
+            .into_iter()
+            .enumerate()
         {
             let rs = opts.run_trials((i as u64) << 4 | j as u64, |seed| {
                 run_trial(Algo::Simple, &counts, seed, budget, tuning, false)
             });
             let ok = rs.iter().filter(|o| o.correct).count();
-            let mut t: Vec<f64> =
-                rs.iter().filter(|o| o.converged).map(|o| o.parallel_time).collect();
+            let mut t: Vec<f64> = rs
+                .iter()
+                .filter(|o| o.converged)
+                .map(|o| o.parallel_time)
+                .collect();
             t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let median = if t.is_empty() { f64::NAN } else { t[t.len() / 2] };
+            let median = if t.is_empty() {
+                f64::NAN
+            } else {
+                t[t.len() / 2]
+            };
             table.push(vec![
                 n.to_string(),
                 k.to_string(),
@@ -58,5 +77,7 @@ fn main() {
          rule ends the init earlier, thins every worker role, and only pays off in its \
          asymptotic target regime (collectors above n/2 forever), infeasible under n >= 2k."
     );
-    table.write_csv(opts.csv_path("x15_large_k")).expect("write csv");
+    table
+        .write_csv(opts.csv_path("x15_large_k"))
+        .expect("write csv");
 }

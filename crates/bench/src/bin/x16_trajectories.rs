@@ -34,26 +34,30 @@ fn main() {
         let states = Usd::initial_states(assignment.opinions());
         let mut sim = Simulation::new(Usd, states, opts.seed);
         let mut next = 0u64;
-        let _ = sim.run_observed(&RunOptions::with_parallel_time_budget(n, 200.0), |t, states| {
-            if t < next {
-                return;
-            }
-            next = t + n as u64 / 2;
-            let mut c = [0usize; 4];
-            for &s in states {
-                c[usize::from(s).min(3)] += 1;
-            }
-            ta.push(vec![
-                format!("{:.1}", t as f64 / n as f64),
-                c[1].to_string(),
-                c[2].to_string(),
-                c[3].to_string(),
-                c[0].to_string(),
-            ]);
-        });
+        let _ = sim.run_observed(
+            &RunOptions::with_parallel_time_budget(n, 200.0),
+            |t, states| {
+                if t < next {
+                    return;
+                }
+                next = t + n as u64 / 2;
+                let mut c = [0usize; 4];
+                for &s in states {
+                    c[usize::from(s).min(3)] += 1;
+                }
+                ta.push(vec![
+                    format!("{:.1}", t as f64 / n as f64),
+                    c[1].to_string(),
+                    c[2].to_string(),
+                    c[3].to_string(),
+                    c[0].to_string(),
+                ]);
+            },
+        );
     }
     println!("X16a: {} samples (see CSV)", ta.len());
-    ta.write_csv(opts.csv_path("x16a_usd_trajectory")).expect("write csv");
+    ta.write_csv(opts.csv_path("x16a_usd_trajectory"))
+        .expect("write csv");
 
     // ---- (b) SimpleAlgorithm defender evolution. ----
     let mut tb = Table::new(
@@ -83,8 +87,11 @@ fn main() {
                         winners += usize::from(c.winner);
                     }
                 }
-                let mode =
-                    phases.iter().max_by_key(|(_, &c)| c).map(|(&p, _)| p).unwrap_or(-9);
+                let mode = phases
+                    .iter()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(&p, _)| p)
+                    .unwrap_or(-9);
                 tb.push(vec![
                     format!("{:.0}", t as f64 / n as f64),
                     mode.to_string(),
@@ -102,7 +109,8 @@ fn main() {
             assignment.plurality()
         );
     }
-    tb.write_csv(opts.csv_path("x16b_simple_trajectory")).expect("write csv");
+    tb.write_csv(opts.csv_path("x16b_simple_trajectory"))
+        .expect("write csv");
     println!(
         "Read: the USD series shows supports random-walking across each other at bias 1; \
          the Simple series shows the defender marker held by one opinion per tournament \

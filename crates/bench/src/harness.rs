@@ -4,10 +4,33 @@ use std::path::PathBuf;
 
 use pp_engine::ensemble;
 
+/// Which simulation engine an experiment's table-protocol arms run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The sequential per-agent scheduler (`pp_engine::Simulation`).
+    Seq,
+    /// The batched configuration-space engine
+    /// (`pp_engine::BatchSimulation`) — the default: it is the only way to
+    /// reach the `n = 10⁸` grids.
+    #[default]
+    Batch,
+}
+
+impl Engine {
+    /// Display label (matches the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Seq => "seq",
+            Engine::Batch => "batch",
+        }
+    }
+}
+
 /// Options shared by all experiment binaries.
 ///
 /// Flags: `--trials N`, `--seed S`, `--full` (larger grids), `--out DIR`,
-/// `--threads T`.
+/// `--threads T`, `--engine {seq,batch}` (A/B the engines on baseline
+/// arms).
 #[derive(Debug, Clone)]
 pub struct ExpOpts {
     /// Trials per configuration.
@@ -20,16 +43,19 @@ pub struct ExpOpts {
     pub out_dir: PathBuf,
     /// Worker threads.
     pub threads: usize,
+    /// Engine for table-protocol (baseline) arms.
+    pub engine: Engine,
 }
 
 impl Default for ExpOpts {
     fn default() -> Self {
         Self {
             trials: 10,
-            seed: 0xE1ab0_7a7e,
+            seed: 0x000E_1AB0_7A7E,
             full: false,
             out_dir: PathBuf::from("results"),
             threads: ensemble::default_threads(),
+            engine: Engine::default(),
         }
     }
 }
@@ -45,7 +71,8 @@ impl ExpOpts {
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             let mut take = |name: &str| {
-                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
             };
             match arg.as_str() {
                 "--trials" => opts.trials = take("--trials").parse().expect("--trials N"),
@@ -53,8 +80,16 @@ impl ExpOpts {
                 "--full" => opts.full = true,
                 "--out" => opts.out_dir = PathBuf::from(take("--out")),
                 "--threads" => opts.threads = take("--threads").parse().expect("--threads T"),
+                "--engine" => {
+                    opts.engine = match take("--engine").as_str() {
+                        "seq" => Engine::Seq,
+                        "batch" => Engine::Batch,
+                        other => panic!("--engine must be 'seq' or 'batch', got '{other}'"),
+                    }
+                }
                 other => panic!(
-                    "unknown flag {other}; known: --trials N --seed S --full --out DIR --threads T"
+                    "unknown flag {other}; known: --trials N --seed S --full --out DIR \
+                     --threads T --engine {{seq,batch}}"
                 ),
             }
         }

@@ -5,8 +5,10 @@
 //! table they regenerate (the rows recorded in `EXPERIMENTS.md`) and write
 //! the same rows as CSV under `results/`.
 
+pub mod baseline;
 pub mod harness;
 pub mod protocols;
 
-pub use harness::ExpOpts;
-pub use protocols::{run_trial, Algo, TrialOutcome};
+pub use baseline::run_usd_baseline;
+pub use harness::{Engine, ExpOpts};
+pub use protocols::{run_trial, run_usd_trial, Algo, TrialOutcome};

@@ -24,7 +24,10 @@ pub struct JuntaState {
 impl JuntaState {
     /// Initial state: level 0, active.
     pub fn new() -> Self {
-        Self { level: 0, active: true }
+        Self {
+            level: 0,
+            active: true,
+        }
     }
 }
 
@@ -94,7 +97,11 @@ impl FormJunta {
         if !a.active {
             return;
         }
-        let climbs = if a.level == 0 { b.level == 0 } else { b.level >= a.level };
+        let climbs = if a.level == 0 {
+            b.level == 0
+        } else {
+            b.level >= a.level
+        };
         if climbs {
             a.level += 1;
             if a.level >= self.max_level {
@@ -121,7 +128,10 @@ impl FormJuntaRun {
     /// A standalone run over `n` agents with the \[11\] level cap.
     pub fn new(n: usize) -> (Self, Vec<JuntaState>) {
         (
-            Self { election: FormJunta::for_population(n), first_junta_at: None },
+            Self {
+                election: FormJunta::for_population(n),
+                first_junta_at: None,
+            },
             vec![JuntaState::new(); n],
         )
     }
@@ -173,17 +183,26 @@ mod tests {
     fn race_rules() {
         let e = FormJunta::new(3);
         let mut a = JuntaState::new();
-        let peer_same = JuntaState { level: 0, active: true };
+        let peer_same = JuntaState {
+            level: 0,
+            active: true,
+        };
         e.interact(&mut a, &peer_same);
         assert_eq!(a.level, 1);
         assert!(a.active);
         // Meeting a lower level knocks out.
-        let lower = JuntaState { level: 0, active: false };
+        let lower = JuntaState {
+            level: 0,
+            active: false,
+        };
         e.interact(&mut a, &lower);
         assert!(!a.active);
         assert_eq!(a.level, 1);
         // Inactive agents never move again.
-        let higher = JuntaState { level: 3, active: false };
+        let higher = JuntaState {
+            level: 3,
+            active: false,
+        };
         e.interact(&mut a, &higher);
         assert_eq!(a.level, 1);
     }
@@ -194,13 +213,19 @@ mod tests {
         // A level-0 agent meeting someone who already climbed is knocked
         // out without climbing.
         let mut a = JuntaState::new();
-        let climbed = JuntaState { level: 1, active: true };
+        let climbed = JuntaState {
+            level: 1,
+            active: true,
+        };
         e.interact(&mut a, &climbed);
         assert!(!a.active);
         assert_eq!(a.level, 0);
         // …while meeting an inactive level-0 agent still lets it climb.
         let mut c = JuntaState::new();
-        let dead_zero = JuntaState { level: 0, active: false };
+        let dead_zero = JuntaState {
+            level: 0,
+            active: false,
+        };
         e.interact(&mut c, &dead_zero);
         assert_eq!(c.level, 1);
         assert!(c.active);
@@ -246,7 +271,10 @@ mod tests {
         };
         let j1 = run(1);
         let j3 = run(3);
-        assert!(j3 < j1, "junta at cap 3 ({j3}) should be smaller than at cap 1 ({j1})");
+        assert!(
+            j3 < j1,
+            "junta at cap 3 ({j3}) should be smaller than at cap 1 ({j1})"
+        );
         assert!(j3 >= 1);
     }
 }

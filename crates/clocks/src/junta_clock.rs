@@ -47,7 +47,11 @@ impl JuntaClock {
     /// initiator crossed (0 in the common case).
     #[inline]
     pub fn interact(&self, a_is_junta: bool, a: &mut u64, b: u64) -> u64 {
-        let target = if a_is_junta { (*a).max(b + 1) } else { (*a).max(b) };
+        let target = if a_is_junta {
+            (*a).max(b + 1)
+        } else {
+            (*a).max(b)
+        };
         let crossed = self.hour(target) - self.hour(*a);
         *a = target;
         crossed
@@ -178,7 +182,11 @@ mod tests {
         let mut sim = Simulation::new(proto, states, 41);
         sim.run(&RunOptions::with_parallel_time_budget(n, 800.0));
         let marks = &sim.protocol().first_hour_at;
-        assert!(marks.len() >= 4, "expected several hours, got {}", marks.len());
+        assert!(
+            marks.len() >= 4,
+            "expected several hours, got {}",
+            marks.len()
+        );
         // Spacing after warm-up should be positive and not wildly irregular.
         let gaps: Vec<f64> = marks.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
         let tail = &gaps[1..];

@@ -144,7 +144,10 @@ impl LeaderlessClockRun {
     /// A standalone run over `n` agents with the given period.
     pub fn new(n: usize, period: u32) -> (Self, Vec<ClockAgent>) {
         (
-            Self { clock: LeaderlessClock::new(period), first_wrap_at: Vec::new() },
+            Self {
+                clock: LeaderlessClock::new(period),
+                first_wrap_at: Vec::new(),
+            },
             vec![ClockAgent::default(); n],
         )
     }
@@ -234,7 +237,10 @@ mod tests {
         sim.run(&RunOptions::with_parallel_time_budget(n, 2000.0));
         let counters: Vec<u32> = sim.states().iter().map(|s| s.g).collect();
         let spread = circular_spread(&counters, period);
-        assert!(spread < period / 2, "clock skew {spread} of period {period}");
+        assert!(
+            spread < period / 2,
+            "clock skew {spread} of period {period}"
+        );
         // Liveness: with ~2000 total increments per agent the clock must
         // have wrapped many times.
         assert!(
@@ -253,9 +259,11 @@ mod tests {
         let (proto, states) = LeaderlessClockRun::new(n, period);
         let mut sim = Simulation::new(proto, states, 3);
         sim.run(&RunOptions::with_parallel_time_budget(n, 300.0));
-        let mean: f64 =
-            sim.states().iter().map(|s| s.g as f64).sum::<f64>() / n as f64;
-        assert!((mean - 300.0).abs() < 60.0, "mean advance {mean} vs expected 300");
+        let mean: f64 = sim.states().iter().map(|s| s.g as f64).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 300.0).abs() < 60.0,
+            "mean advance {mean} vs expected 300"
+        );
     }
 
     #[test]
@@ -272,7 +280,13 @@ mod tests {
         let max = gaps.iter().cloned().fold(f64::MIN, f64::max);
         let min = gaps.iter().cloned().fold(f64::MAX, f64::min);
         // Ticks are regular: no gap strays past 3x/0.2x of the mean.
-        assert!(max < 3.0 * mean, "irregular clock: max gap {max}, mean {mean}");
-        assert!(min > 0.2 * mean, "irregular clock: min gap {min}, mean {mean}");
+        assert!(
+            max < 3.0 * mean,
+            "irregular clock: max gap {max}, mean {mean}"
+        );
+        assert!(
+            min > 0.2 * mean,
+            "irregular clock: min gap {min}, mean {mean}"
+        );
     }
 }

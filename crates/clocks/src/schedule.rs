@@ -20,7 +20,10 @@ impl PhaseSchedule {
     /// Panics if `lengths` is empty or any length is zero.
     pub fn from_lengths(lengths: &[u32]) -> Self {
         assert!(!lengths.is_empty(), "schedule needs at least one phase");
-        assert!(lengths.iter().all(|&l| l > 0), "phase lengths must be positive");
+        assert!(
+            lengths.iter().all(|&l| l > 0),
+            "phase lengths must be positive"
+        );
         let mut ends = Vec::with_capacity(lengths.len());
         let mut acc = 0u32;
         for &l in lengths {
@@ -52,7 +55,11 @@ impl PhaseSchedule {
     ///
     /// Panics if `g >= period()`.
     pub fn phase_of(&self, g: u32) -> u8 {
-        assert!(g < self.period(), "counter {g} outside period {}", self.period());
+        assert!(
+            g < self.period(),
+            "counter {g} outside period {}",
+            self.period()
+        );
         match self.ends.binary_search(&g) {
             // `g` equals the exclusive end of phase `i` → phase `i + 1`.
             Ok(i) => (i + 1) as u8,

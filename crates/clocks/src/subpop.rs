@@ -47,7 +47,11 @@ impl SubpopClocks {
         let k = usize::from(*opinions.iter().max().expect("non-empty population"));
         let states = opinions
             .iter()
-            .map(|&opinion| SubpopAgent { opinion, junta: JuntaState::new(), p: 0 })
+            .map(|&opinion| SubpopAgent {
+                opinion,
+                junta: JuntaState::new(),
+                p: 0,
+            })
             .collect();
         (
             Self {
@@ -119,7 +123,7 @@ mod tests {
     fn opinions_of(counts: &[usize]) -> Vec<u16> {
         let mut v = Vec::new();
         for (i, &c) in counts.iter().enumerate() {
-            v.extend(std::iter::repeat((i + 1) as u16).take(c));
+            v.extend(std::iter::repeat_n((i + 1) as u16, c));
         }
         v
     }
@@ -135,7 +139,10 @@ mod tests {
         let h1 = sim.protocol().hours_of(1);
         let h2 = sim.protocol().hours_of(2);
         assert!(h1 > h2, "large opinion hours {h1} vs small {h2}");
-        assert!(h1 >= 2, "large opinion should tick at least twice, got {h1}");
+        assert!(
+            h1 >= 2,
+            "large opinion should tick at least twice, got {h1}"
+        );
     }
 
     #[test]
@@ -163,9 +170,10 @@ mod tests {
         let mut rng = <pp_engine::SimRng as rand::SeedableRng>::seed_from_u64(1);
         // Cross-opinion interaction: nothing changes.
         let before = states.clone();
-        let (a, rest) = states.split_at_mut(1);
-        proto.interact(0, &mut a[0], &mut rest[2], &mut rng);
-        drop((a, rest));
+        {
+            let (a, rest) = states.split_at_mut(1);
+            proto.interact(0, &mut a[0], &mut rest[2], &mut rng);
+        }
         assert_eq!(states, before);
     }
 }

@@ -119,7 +119,11 @@ impl Tuning {
     /// package: a faster-finishing clock without stronger compression ends
     /// the init before enough workers exist.
     pub fn large_k() -> Self {
-        Self { init_decrement_period: 6, merge_cap: 30, ..Self::default() }
+        Self {
+            init_decrement_period: 6,
+            merge_cap: 30,
+            ..Self::default()
+        }
     }
 }
 
@@ -132,7 +136,10 @@ mod tests {
         let t = Tuning::default();
         assert!(t.phase_factors.iter().all(|&f| f > 0.0));
         assert!(t.match_window >= 1);
-        assert!(t.merge_cap >= 2, "merging needs room for at least two tokens");
+        assert!(
+            t.merge_cap >= 2,
+            "merging needs room for at least two tokens"
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ mod tests {
         let expected = assignment.plurality();
         let (proto, states) = ImprovedAlgorithm::new(&assignment, Tuning::default());
         let mut sim = Simulation::new(proto, states, seed);
-        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), budget));
+        let r = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            budget,
+        ));
         (r, expected)
     }
 
@@ -147,9 +150,7 @@ mod tests {
         let _ = sim.run_observed(
             &RunOptions::with_parallel_time_budget(assignment.n(), 400_000.0),
             |_, states| {
-                if plurality_tokens_at_start.is_none()
-                    && states.iter().all(|s| s.phase >= 0)
-                {
+                if plurality_tokens_at_start.is_none() && states.iter().all(|s| s.phase >= 0) {
                     let tokens: usize = states
                         .iter()
                         .filter_map(|s| match &s.role {

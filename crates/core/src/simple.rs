@@ -96,7 +96,10 @@ mod tests {
         let expected = assignment.plurality();
         let (proto, states) = SimpleAlgorithm::new(&assignment, Tuning::default());
         let mut sim = Simulation::new(proto, states, seed);
-        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), budget));
+        let r = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            budget,
+        ));
         (r, expected)
     }
 
@@ -141,7 +144,10 @@ mod tests {
         let assignment = counts.assignment();
         let (proto, states) = SimpleAlgorithm::new(&assignment, Tuning::skimpy());
         let mut sim = Simulation::new(proto, states, 1);
-        let _ = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 20_000.0));
+        let _ = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            20_000.0,
+        ));
     }
 
     #[test]
@@ -150,7 +156,10 @@ mod tests {
         let assignment = counts.assignment();
         let (proto, states) = SimpleAlgorithm::new(&assignment, Tuning::default());
         let mut sim = Simulation::new(proto, states, 2);
-        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 100_000.0));
+        let r = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            100_000.0,
+        ));
         assert_eq!(r.status, RunStatus::Converged);
         let ms = sim.protocol().milestones();
         let init_end = ms.init_end.expect("init end recorded");

@@ -204,8 +204,7 @@ impl Machine {
             // Token merging: the responder absorbs, the initiator re-roles.
             if ca.opinion == cb.opinion && ca.tokens + cb.tokens <= self.tuning.merge_cap {
                 let moved = ca.tokens;
-                let (Role::Collector(ca), Role::Collector(cb)) = (&mut a.role, &mut b.role)
-                else {
+                let (Role::Collector(ca), Role::Collector(cb)) = (&mut a.role, &mut b.role) else {
                     unreachable!()
                 };
                 cb.tokens += moved;
@@ -509,7 +508,9 @@ impl Machine {
     }
 
     fn tracker_slot_update(&self, x: &mut Agent, y: &Agent) {
-        let Role::Tracker(tr) = &mut x.role else { return };
+        let Role::Tracker(tr) = &mut x.role else {
+            return;
+        };
         match &y.role {
             Role::Collector(c) if c.is_candidate() && tr.slot_kind == SlotKind::Empty => {
                 tr.slot_op = c.opinion;
@@ -536,7 +537,9 @@ impl Machine {
     fn leader_actions(&mut self, t: u64, x: &mut Agent, y: &Agent) {
         let x_fin = x.fin;
         let x_le_done = x.le_done;
-        let Role::Tracker(tr) = &mut x.role else { return };
+        let Role::Tracker(tr) = &mut x.role else {
+            return;
+        };
         if !tr.lot.leader {
             return;
         }
@@ -575,7 +578,9 @@ impl Machine {
     }
 
     fn collector_reads_directive(&self, x: &mut Agent, y: &Agent) {
-        let Role::Collector(c) = &mut x.role else { return };
+        let Role::Collector(c) = &mut x.role else {
+            return;
+        };
         let Role::Tracker(tr) = &y.role else { return };
         if c.played || tr.slot_op != c.opinion {
             return;
@@ -636,7 +641,9 @@ impl Machine {
             if x.done_once {
                 return;
             }
-            let Role::Collector(c) = &mut x.role else { return };
+            let Role::Collector(c) = &mut x.role else {
+                return;
+            };
             let Role::Player(pl) = &y.role else { return };
             // Only players that finished the match carry a result; the
             // paper's phase lengths guarantee completion, so reading an
@@ -776,7 +783,10 @@ mod tests {
     fn initial_phase_depends_on_init_style() {
         assert_eq!(machine(Mode::Ordered).initial_phase(), -1);
         let m = Machine::new(Mode::Unordered, true, 1000, 4, Tuning::default());
-        assert_eq!(m.initial_phase(), -(Tuning::default().improved_init_hours as i8));
+        assert_eq!(
+            m.initial_phase(),
+            -(Tuning::default().improved_init_hours as i8)
+        );
     }
 
     #[test]
@@ -851,7 +861,10 @@ mod tests {
         let mut b = Agent::collector(1, -1, true);
         m.interact(0, &mut a, &mut b, &mut rng);
         assert_eq!(b.as_collector().expect("collector").tokens, 2);
-        assert!(!matches!(a.role, Role::Collector(_)), "initiator must re-role");
+        assert!(
+            !matches!(a.role, Role::Collector(_)),
+            "initiator must re-role"
+        );
         // Over-cap pairs do not merge.
         let mut c = Agent::collector(2, -1, true);
         let mut d = Agent::collector(2, -1, true);
@@ -887,7 +900,11 @@ mod tests {
         let mut ahead = Agent::collector(2, 1, true); // 8 → 9 → 0 → 1 is 3 ahead circularly
         m.propagate_phase(&mut behind, &mut ahead);
         assert_eq!(behind.phase, 1);
-        assert_eq!(behind.as_collector().expect("collector").ell, 0, "phase-0 hook must fire");
+        assert_eq!(
+            behind.as_collector().expect("collector").ell,
+            0,
+            "phase-0 hook must fire"
+        );
     }
 
     #[test]
@@ -1009,7 +1026,10 @@ mod tests {
         }
         m.interact(0, &mut chall, &mut p, &mut rng);
         let c = chall.as_collector().expect("collector");
-        assert!(c.defender, "challenger collectors become defenders on a B verdict");
+        assert!(
+            c.defender,
+            "challenger collectors become defenders on a B verdict"
+        );
         assert!(!c.challenger);
         assert!(chall.done_once);
         // The do-once guard: a later conflicting A verdict changes nothing.
@@ -1057,7 +1077,10 @@ mod tests {
         m.interact(0, &mut d1, &mut d2, &mut rng);
         let bits = u8::from(d1.as_collector().expect("c").defender)
             + u8::from(d2.as_collector().expect("c").defender);
-        assert_eq!(bits, 1, "exactly one defender bit must survive the healing rule");
+        assert_eq!(
+            bits, 1,
+            "exactly one defender bit must survive the healing rule"
+        );
         // In the conclusion phase the transient split is legitimate.
         let mut d3 = Agent::collector(1, 8, true);
         let mut d4 = Agent::collector(2, 8, true);
@@ -1081,7 +1104,10 @@ mod tests {
         let mut herald = Agent::collector(2, 0, false);
         m.interact(0, &mut stuck, &mut herald, &mut rng);
         assert_eq!(stuck.phase, 0);
-        assert!(!matches!(stuck.role, Role::Collector(_)), "unticked agent must be pruned");
+        assert!(
+            !matches!(stuck.role, Role::Collector(_)),
+            "unticked agent must be pruned"
+        );
         // An agent that ticked and holds tokens stays a collector.
         let mut healthy = Agent::collector(1, m.initial_phase() + 2, false);
         m.interact(1, &mut healthy, &mut herald, &mut rng);
@@ -1091,7 +1117,10 @@ mod tests {
 
     #[test]
     fn appendix_c_decrement_period_slows_decrements() {
-        let tuning = Tuning { init_decrement_period: 3, ..Tuning::default() };
+        let tuning = Tuning {
+            init_decrement_period: 3,
+            ..Tuning::default()
+        };
         let mut m = Machine::new(Mode::Ordered, false, 1000, 4, tuning);
         let mut rng = <SimRng as rand::SeedableRng>::seed_from_u64(9);
         let mut clock = Agent::collector(1, -1, true);

@@ -81,7 +81,10 @@ mod tests {
         let expected = assignment.plurality();
         let (proto, states) = UnorderedAlgorithm::new(&assignment, Tuning::default());
         let mut sim = Simulation::new(proto, states, seed);
-        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), budget));
+        let r = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            budget,
+        ));
         (r, expected)
     }
 
@@ -108,7 +111,10 @@ mod tests {
         let assignment = counts.assignment();
         let (proto, states) = UnorderedAlgorithm::new(&assignment, Tuning::default());
         let mut sim = Simulation::new(proto, states, 4);
-        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 500_000.0));
+        let r = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            500_000.0,
+        ));
         assert_eq!(r.status, RunStatus::Converged);
         let ms = sim.protocol().milestones();
         let init_end = ms.init_end.expect("init end");

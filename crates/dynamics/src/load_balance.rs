@@ -65,10 +65,20 @@ mod tests {
 
     #[test]
     fn balance_preserves_sum_and_orders_floor_ceil() {
-        for (a, b) in [(5, 2), (-5, 2), (-3, -4), (7, 7), (0, -1), (i64::from(i32::MAX), 1)] {
+        for (a, b) in [
+            (5, 2),
+            (-5, 2),
+            (-3, -4),
+            (7, 7),
+            (0, -1),
+            (i64::from(i32::MAX), 1),
+        ] {
             let (x, y) = balance(a, b);
             assert_eq!(x + y, a + b, "sum broken for ({a},{b})");
-            assert!(y - x <= 1 && y >= x, "floor/ceil broken for ({a},{b}): ({x},{y})");
+            assert!(
+                y - x <= 1 && y >= x,
+                "floor/ceil broken for ({a},{b}): ({x},{y})"
+            );
         }
     }
 
@@ -109,6 +119,10 @@ mod tests {
         let mut sim = Simulation::new(LoadBalance, states, 1);
         let r = sim.run(&RunOptions::with_parallel_time_budget(n, 10_000.0));
         assert_eq!(r.status, RunStatus::Converged);
-        assert!(r.parallel_time < 40.0 * (n as f64).ln(), "time {}", r.parallel_time);
+        assert!(
+            r.parallel_time < 40.0 * (n as f64).ln(),
+            "time {}",
+            r.parallel_time
+        );
     }
 }

@@ -1,0 +1,316 @@
+//! Exact binomial and multinomial sampling for batch tallies.
+//!
+//! The batched engine turns a batch of `ℓ` interactions into per-state
+//! participant counts in one shot: a multinomial over the configuration is
+//! decomposed into conditional binomials (`X_s ~ Bin(remaining, w_s/rest)`).
+//! The binomial sampler picks its algorithm by regime:
+//!
+//! * `n ≤ 16` — direct Bernoulli counting (cheapest at tiny sizes),
+//! * `n·p < 10` — BINV-style inversion from zero (`O(n·p)` expected),
+//! * otherwise — inversion from the mode, walking outward (`O(√(n·p))`
+//!   expected, the reason batch tallies cost `O(√ℓ)` rather than `O(ℓ)`).
+//!
+//! All branches invert a single uniform against exact pmf recurrences; the
+//! only approximation is `f64` rounding (ln-factorials via a 16-entry exact
+//! table plus a Stirling series accurate to ~1e-12 beyond it).
+
+use rand::Rng;
+
+use crate::protocol::SimRng;
+
+/// `ln(k!)` — exact table for `k < 16`, Stirling series beyond.
+#[inline]
+fn ln_factorial(k: u64) -> f64 {
+    const TABLE: [f64; 16] = [
+        0.0,
+        0.0,
+        std::f64::consts::LN_2,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_89,
+    ];
+    if k < 16 {
+        TABLE[k as usize]
+    } else {
+        let x = k as f64;
+        x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x * x * x)
+    }
+}
+
+/// `ln P[Bin(n, p) = k]`.
+#[inline]
+fn ln_binom_pmf(n: u64, k: u64, p: f64, q: f64) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+        + k as f64 * p.ln()
+        + (n - k) as f64 * q.ln()
+}
+
+/// Draw `X ~ Binomial(n, p)`.
+pub fn binomial(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        n - binomial_half(rng, n, 1.0 - p)
+    } else {
+        binomial_half(rng, n, p)
+    }
+}
+
+/// Binomial for `p ≤ 0.5`.
+fn binomial_half(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    if n <= 16 {
+        return (0..n).filter(|_| rng.gen_bool(p)).count() as u64;
+    }
+    if (n as f64) * p < 10.0 {
+        binomial_binv(rng, n, p)
+    } else {
+        binomial_mode_inversion(rng, n, p)
+    }
+}
+
+/// BINV: invert a uniform against the pmf starting from zero. Expected
+/// `O(n·p)` steps; requires `q^n` representable, guaranteed by the caller's
+/// `n·p < 10`, `p ≤ 0.5` regime (`q^n ≥ e^{-20}`).
+fn binomial_binv(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n as f64 + 1.0) * s;
+    let f0 = (n as f64 * q.ln()).exp();
+    loop {
+        let mut f = f0;
+        let mut u: f64 = rng.gen();
+        let mut k = 0u64;
+        loop {
+            if u < f {
+                return k;
+            }
+            u -= f;
+            k += 1;
+            if k > n || f <= f64::MIN_POSITIVE {
+                // Float tail rounding left `u` unserved (probability
+                // ~1e-15): redraw.
+                break;
+            }
+            f *= a / k as f64 - s;
+        }
+    }
+}
+
+/// Inversion from the mode, walking outward on both sides. Expected
+/// `O(σ) = O(√(n·p·q))` steps.
+fn binomial_mode_inversion(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let mode = (((n + 1) as f64) * p).floor().min(n as f64) as u64;
+    let pmf_mode = ln_binom_pmf(n, mode, p, q).exp();
+    loop {
+        let mut u: f64 = rng.gen();
+        if u < pmf_mode {
+            return mode;
+        }
+        u -= pmf_mode;
+        let (mut lo, mut f_lo) = (mode, pmf_mode);
+        let (mut hi, mut f_hi) = (mode, pmf_mode);
+        loop {
+            let mut moved = false;
+            if hi < n {
+                f_hi *= (n - hi) as f64 * p / ((hi + 1) as f64 * q);
+                hi += 1;
+                if u < f_hi {
+                    return hi;
+                }
+                u -= f_hi;
+                moved = true;
+            }
+            if lo > 0 {
+                f_lo *= lo as f64 * q / ((n - lo + 1) as f64 * p);
+                lo -= 1;
+                if u < f_lo {
+                    return lo;
+                }
+                u -= f_lo;
+                moved = true;
+            }
+            if !moved {
+                // Support exhausted with residual mass from rounding
+                // (probability ~1e-15): redraw.
+                break;
+            }
+        }
+    }
+}
+
+/// Sample `Multinomial(trials; weights/total)` by conditional binomial
+/// splits, appending `(index, count)` for every non-zero cell to `out`.
+///
+/// `total` must equal `weights.iter().sum()` and be non-zero.
+pub fn multinomial_into(
+    rng: &mut SimRng,
+    trials: u64,
+    weights: &[u64],
+    total: u64,
+    out: &mut Vec<(usize, u64)>,
+) {
+    debug_assert_eq!(total, weights.iter().sum::<u64>());
+    debug_assert!(total > 0);
+    let mut remaining = trials;
+    let mut rest = total;
+    for (index, &w) in weights.iter().enumerate() {
+        if remaining == 0 {
+            return;
+        }
+        if w == 0 {
+            continue;
+        }
+        if w == rest {
+            // Last non-zero cell takes everything left.
+            out.push((index, remaining));
+            return;
+        }
+        let x = binomial(rng, remaining, w as f64 / rest as f64);
+        if x > 0 {
+            out.push((index, x));
+        }
+        remaining -= x;
+        rest -= w;
+    }
+    debug_assert_eq!(remaining, 0, "weights exhausted with trials left");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean_var(rng: &mut SimRng, n: u64, p: f64, draws: u64) -> (f64, f64) {
+        let (mut s1, mut s2) = (0.0f64, 0.0f64);
+        for _ in 0..draws {
+            let x = binomial(rng, n, p) as f64;
+            s1 += x;
+            s2 += x * x;
+        }
+        let mean = s1 / draws as f64;
+        (mean, s2 / draws as f64 - mean * mean)
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(binomial(&mut rng, 0, 0.3), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+        for _ in 0..100 {
+            assert!(binomial(&mut rng, 5, 0.5) <= 5);
+        }
+    }
+
+    #[test]
+    fn binomial_moments_match_in_every_regime() {
+        // (n, p) hitting: Bernoulli counting, BINV, mode inversion, and the
+        // p > 1/2 mirror of each.
+        let cases = [
+            (10u64, 0.3),
+            (10, 0.8),
+            (1000, 0.004),
+            (1000, 0.996),
+            (1000, 0.3),
+            (1_000_000, 0.25),
+            (50_000, 0.7),
+        ];
+        let mut rng = SimRng::seed_from_u64(42);
+        for (n, p) in cases {
+            let draws = 30_000;
+            let (mean, var) = mean_var(&mut rng, n, p, draws);
+            let want_mean = n as f64 * p;
+            let want_var = n as f64 * p * (1.0 - p);
+            let mean_tol = 5.0 * (want_var / draws as f64).sqrt() + 1e-9;
+            assert!(
+                (mean - want_mean).abs() < mean_tol,
+                "n={n} p={p}: mean {mean} vs {want_mean} (tol {mean_tol})"
+            );
+            assert!(
+                (var - want_var).abs() / want_var.max(1.0) < 0.1,
+                "n={n} p={p}: var {var} vs {want_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_small_n_distribution_is_exact() {
+        // n = 4, p = 0.5: probabilities 1/16, 4/16, 6/16, 4/16, 1/16.
+        let mut rng = SimRng::seed_from_u64(9);
+        let draws = 160_000u64;
+        let mut hist = [0u64; 5];
+        for _ in 0..draws {
+            hist[binomial(&mut rng, 4, 0.5) as usize] += 1;
+        }
+        let want = [1.0, 4.0, 6.0, 4.0, 1.0].map(|w| w / 16.0 * draws as f64);
+        for (k, (&h, w)) in hist.iter().zip(want).enumerate() {
+            let dev = (h as f64 - w).abs() / w;
+            assert!(dev < 0.05, "k={k}: {h} vs {w:.0}");
+        }
+    }
+
+    #[test]
+    fn multinomial_conserves_trials_and_tracks_weights() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let weights = [50u64, 0, 30, 20, 0, 900];
+        let total: u64 = weights.iter().sum();
+        let trials = 10_000u64;
+        let mut acc = vec![0u64; weights.len()];
+        let reps = 200;
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            out.clear();
+            multinomial_into(&mut rng, trials, &weights, total, &mut out);
+            let drawn: u64 = out.iter().map(|&(_, c)| c).sum();
+            assert_eq!(drawn, trials, "multinomial must use every trial");
+            for &(i, c) in &out {
+                assert!(weights[i] > 0, "zero-weight cell {i} drawn");
+                acc[i] += c;
+            }
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let want = reps as f64 * trials as f64 * w as f64 / total as f64;
+            if w == 0 {
+                assert_eq!(acc[i], 0);
+            } else {
+                let dev = (acc[i] as f64 - want).abs() / want;
+                assert!(dev < 0.05, "cell {i}: {} vs {want:.0}", acc[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn multinomial_with_zero_trials_is_empty() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        multinomial_into(&mut rng, 0, &[1, 2, 3], 6, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ln_factorial_is_accurate_across_the_table_boundary() {
+        let mut exact = 0.0f64;
+        for k in 1..=30u64 {
+            exact += (k as f64).ln();
+            let err = (ln_factorial(k) - exact).abs();
+            assert!(err < 1e-9, "k={k}: err {err}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The per-pair configuration-space engine (the seed's `BatchSimulation`).
+//!
+//! Draws a collision-free batch length, then samples and applies every
+//! interaction of the batch individually: two linear-scan state draws and
+//! one transition per interaction — `Θ(S)` work per interaction. Retained
+//! as the semantic reference implementation: the multinomial engine
+//! ([`crate::batch::BatchSimulation`]) must match its observable
+//! distributions (see `tests/engine_equivalence.rs`), and the criterion
+//! benches report the speedup against it.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::batch::birthday::draw_batch_len_walk;
+use crate::batch::TableProtocol;
+use crate::protocol::SimRng;
+use crate::result::{RunOptions, RunResult, RunStatus};
+
+/// A configuration-space simulation applying batch interactions one pair at
+/// a time.
+#[derive(Debug, Clone)]
+pub struct PairwiseBatchSimulation<P: TableProtocol> {
+    protocol: P,
+    counts: Vec<u64>,
+    n: u64,
+    rng: SimRng,
+    interactions: u64,
+}
+
+impl<P: TableProtocol> PairwiseBatchSimulation<P> {
+    /// Create a simulation from per-state counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than two agents or `counts` does
+    /// not match the protocol's state space.
+    pub fn new(protocol: P, counts: Vec<u64>, seed: u64) -> Self {
+        assert_eq!(
+            counts.len(),
+            protocol.states(),
+            "counts must cover the state space"
+        );
+        let n: u64 = counts.iter().sum();
+        assert!(n >= 2, "population must contain at least two agents");
+        Self {
+            protocol,
+            counts,
+            n,
+            rng: SimRng::seed_from_u64(seed),
+            interactions: 0,
+        }
+    }
+
+    /// Build the configuration from per-agent states.
+    pub fn from_agents(protocol: P, agents: &[usize], seed: u64) -> Self {
+        let mut counts = vec![0u64; protocol.states()];
+        for &s in agents {
+            counts[s] += 1;
+        }
+        Self::new(protocol, counts, seed)
+    }
+
+    /// Current configuration.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Interactions simulated so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Parallel time elapsed.
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.n as f64
+    }
+
+    /// Sample one state weighted by the current counts (linear scan — the
+    /// seed behaviour this engine preserves).
+    fn sample_state(&mut self) -> usize {
+        let mut target = self.rng.gen_range(0..self.n);
+        for (s, &c) in self.counts.iter().enumerate() {
+            if target < c {
+                return s;
+            }
+            target -= c;
+        }
+        unreachable!("counts sum to n")
+    }
+
+    /// Advance one collision-free batch; returns the number of interactions
+    /// applied.
+    pub fn step_batch(&mut self) -> u64 {
+        let len = draw_batch_len_walk(&mut self.rng, self.n);
+        for _ in 0..len {
+            let a = self.sample_state();
+            let mut b = self.sample_state();
+            // A same-state draw is fine (two distinct agents can share a
+            // state) unless the state holds a single agent: then `a` and
+            // `b` would be the *same* agent, which the sequential model
+            // never pairs. Redraw — some other state is occupied (n ≥ 2).
+            while b == a && self.counts[a] < 2 {
+                b = self.sample_state();
+            }
+            let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
+            if (a2, b2) == (a, b) {
+                continue;
+            }
+            self.counts[a] -= 1;
+            self.counts[b] -= 1;
+            self.counts[a2] += 1;
+            self.counts[b2] += 1;
+        }
+        self.interactions += len;
+        len
+    }
+
+    /// Run until convergence or budget exhaustion.
+    pub fn run(&mut self, opts: &RunOptions) -> RunResult {
+        loop {
+            if let Some(output) = self.protocol.output(&self.counts) {
+                return self.finish(RunStatus::Converged, Some(output));
+            }
+            if self.interactions >= opts.max_interactions {
+                return self.finish(RunStatus::Exhausted, None);
+            }
+            self.step_batch();
+        }
+    }
+
+    fn finish(&self, status: RunStatus, output: Option<u32>) -> RunResult {
+        RunResult {
+            status,
+            output,
+            interactions: self.interactions,
+            parallel_time: self.parallel_time(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::sim::tests::{Am3, Epi};
+
+    #[test]
+    fn population_is_conserved() {
+        let mut sim = PairwiseBatchSimulation::new(Am3, vec![0, 600, 400], 3);
+        for _ in 0..100 {
+            sim.step_batch();
+            assert_eq!(sim.counts().iter().sum::<u64>(), 1000);
+        }
+    }
+
+    #[test]
+    fn epidemic_completes_in_logarithmic_time() {
+        let n = 1 << 16;
+        let mut sim = PairwiseBatchSimulation::new(Epi, vec![n - 1, 1], 9);
+        let r = sim.run(&RunOptions::default());
+        assert_eq!(r.status, RunStatus::Converged);
+        let model = (n as f64).log2() + (n as f64).ln();
+        assert!(
+            (r.parallel_time - model).abs() < model,
+            "epidemic time {} vs model {model}",
+            r.parallel_time
+        );
+    }
+
+    #[test]
+    fn majority_picks_large_bias_winner() {
+        let n = 100_000u64;
+        let mut sim = PairwiseBatchSimulation::new(Am3, vec![0, n * 3 / 5, n * 2 / 5], 11);
+        let r = sim.run(&RunOptions {
+            max_interactions: 200 * n,
+            check_every: 0,
+        });
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_counts_rejected() {
+        let _ = PairwiseBatchSimulation::new(Epi, vec![1, 1, 1], 0);
+    }
+}

@@ -1,0 +1,563 @@
+//! The multinomial-tally configuration-space engine.
+
+use rand::SeedableRng;
+
+use crate::batch::birthday::draw_batch_len;
+use crate::batch::fenwick::Fenwick;
+use crate::batch::multinomial::multinomial_into;
+use crate::batch::TableProtocol;
+use crate::protocol::SimRng;
+use crate::result::{RunOptions, RunResult, RunStatus};
+
+/// Floor on the multiplicity below which responders are always drawn one
+/// by one through the Fenwick sampler. The full rule is adaptive: a
+/// conditional-binomial split scans every occupied state
+/// (`O(S_occupied)` binomials), so it only pays once the multiplicity
+/// exceeds the occupied-state count — at USD-like `k = 64` a multiplicity
+/// of 10 is far cheaper as ten `O(log S)` tree draws.
+const SPLIT_FLOOR: u64 = 8;
+
+/// How many infeasible (overdrawn) tallies to redraw before falling back
+/// to per-pair application for the batch. Overdraw probability is
+/// `O(ℓ²/n)` against a near-empty state, so two misses in a row are
+/// already rare; the fallback is exact and unconditionally feasible.
+const MAX_TALLY_RETRIES: u32 = 8;
+
+/// A configuration-space simulation advancing in collision-free batches,
+/// each applied as one multinomial tally of ordered state pairs.
+///
+/// Per-interaction cost is sub-constant for long batches: a batch of `ℓ`
+/// interactions costs `O(S·√ℓ)` binomial work plus `O(log S)` per
+/// *distinct* transition applied, instead of `O(S)` per interaction in the
+/// seed engine (see [`crate::batch`] module docs for the accounting, and
+/// [`PairwiseBatchSimulation`](crate::batch::PairwiseBatchSimulation) for
+/// the retained reference implementation).
+#[derive(Debug, Clone)]
+pub struct BatchSimulation<P: TableProtocol> {
+    protocol: P,
+    counts: Vec<u64>,
+    /// Fenwick mirror of `counts` for `O(log S)` weighted draws; frozen at
+    /// the pre-batch configuration while a tally is being sampled.
+    tree: Fenwick,
+    n: u64,
+    rng: SimRng,
+    interactions: u64,
+    deterministic: bool,
+    // Scratch buffers reused across batches.
+    initiators: Vec<(usize, u64)>,
+    responders: Vec<(usize, u64)>,
+    delta: Vec<i64>,
+    /// Gross participant count drawn from each state this batch (the
+    /// collision-free feasibility bound: a batch cannot use more agents of
+    /// a state than exist).
+    usage: Vec<u64>,
+}
+
+impl<P: TableProtocol> BatchSimulation<P> {
+    /// Create a simulation from per-state counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than two agents or `counts` does
+    /// not match the protocol's state space.
+    pub fn new(protocol: P, counts: Vec<u64>, seed: u64) -> Self {
+        assert_eq!(
+            counts.len(),
+            protocol.states(),
+            "counts must cover the state space"
+        );
+        let n: u64 = counts.iter().sum();
+        assert!(n >= 2, "population must contain at least two agents");
+        let tree = Fenwick::from_weights(&counts);
+        let states = counts.len();
+        let deterministic = protocol.is_deterministic();
+        Self {
+            protocol,
+            counts,
+            tree,
+            n,
+            rng: SimRng::seed_from_u64(seed),
+            interactions: 0,
+            deterministic,
+            initiators: Vec::new(),
+            responders: Vec::new(),
+            delta: vec![0; states],
+            usage: vec![0; states],
+        }
+    }
+
+    /// Build the configuration from per-agent states.
+    pub fn from_agents(protocol: P, agents: &[usize], seed: u64) -> Self {
+        let mut counts = vec![0u64; protocol.states()];
+        for &s in agents {
+            counts[s] += 1;
+        }
+        Self::new(protocol, counts, seed)
+    }
+
+    /// Current configuration.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Interactions simulated so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Parallel time elapsed.
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.n as f64
+    }
+
+    /// Advance one collision-free batch; returns the number of interactions
+    /// applied.
+    pub fn step_batch(&mut self) -> u64 {
+        let len = draw_batch_len(&mut self.rng, self.n);
+        self.apply_batch(len);
+        len
+    }
+
+    /// Sample a pair tally for `len` interactions from the pre-batch
+    /// configuration and apply it. Infeasible tallies (a with-replacement
+    /// draw overdrew a nearly-empty state) are redrawn; after
+    /// [`MAX_TALLY_RETRIES`] misses the batch is applied pair by pair.
+    fn apply_batch(&mut self, len: u64) {
+        for _ in 0..MAX_TALLY_RETRIES {
+            if self.try_tally(len) {
+                self.interactions += len;
+                return;
+            }
+        }
+        self.apply_pairwise(len);
+        self.interactions += len;
+    }
+
+    /// One tally attempt. Returns `false` (leaving the configuration
+    /// untouched) if the sampled tally is infeasible — it would use more
+    /// agents of some state than exist (the with-replacement draw can
+    /// overdraw a small state).
+    fn try_tally(&mut self, len: u64) -> bool {
+        self.delta.iter_mut().for_each(|d| *d = 0);
+        self.usage.iter_mut().for_each(|u| *u = 0);
+
+        // Initiator counts: one multinomial over the configuration.
+        self.initiators.clear();
+        multinomial_into(
+            &mut self.rng,
+            len,
+            &self.counts,
+            self.n,
+            &mut self.initiators,
+        );
+
+        // Responder counts per initiator state, then the transitions.
+        // Buffers are swapped out of `self` so `self.rng`/`self.tree` stay
+        // borrowable; they are always returned before the method exits.
+        let occupied = self.counts.iter().filter(|&&c| c > 0).count() as u64;
+        let split_threshold = SPLIT_FLOOR.max(occupied);
+        let mut initiators = std::mem::take(&mut self.initiators);
+        for &(a, multiplicity) in &initiators {
+            if multiplicity <= split_threshold {
+                for _ in 0..multiplicity {
+                    let b = self.tree.sample(&mut self.rng);
+                    self.accumulate(a, b, 1);
+                }
+            } else {
+                let mut responders = std::mem::take(&mut self.responders);
+                responders.clear();
+                multinomial_into(
+                    &mut self.rng,
+                    multiplicity,
+                    &self.counts,
+                    self.n,
+                    &mut responders,
+                );
+                for &(b, m) in &responders {
+                    self.accumulate(a, b, m);
+                }
+                self.responders = responders;
+            }
+        }
+        initiators.clear();
+        self.initiators = initiators;
+
+        // Feasibility: within a collision-free batch every participant is
+        // a distinct agent, so the gross usage of a state is bounded by
+        // its pre-batch count (this also implies the net delta cannot go
+        // negative).
+        if self.counts.iter().zip(&self.usage).any(|(&c, &u)| u > c) {
+            return false;
+        }
+        for s in 0..self.counts.len() {
+            let d = self.delta[s];
+            if d != 0 {
+                self.counts[s] = self.counts[s]
+                    .checked_add_signed(d)
+                    .expect("feasible delta");
+                self.tree.add(s, d);
+            }
+        }
+        true
+    }
+
+    /// Fold one ordered pair `(a, b)` with multiplicity `m` into the
+    /// per-state delta and usage accumulators.
+    #[inline]
+    fn accumulate(&mut self, a: usize, b: usize, m: u64) {
+        self.usage[a] += m;
+        self.usage[b] += m;
+        if self.deterministic {
+            let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
+            if (a2, b2) == (a, b) {
+                return;
+            }
+            let m = m as i64;
+            self.delta[a] -= m;
+            self.delta[b] -= m;
+            self.delta[a2] += m;
+            self.delta[b2] += m;
+        } else {
+            // Randomized transition: one coin-consuming evaluation per
+            // interaction (pair *sampling* stays batched).
+            for _ in 0..m {
+                let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
+                if (a2, b2) == (a, b) {
+                    continue;
+                }
+                self.delta[a] -= 1;
+                self.delta[b] -= 1;
+                self.delta[a2] += 1;
+                self.delta[b2] += 1;
+            }
+        }
+    }
+
+    /// Exact per-pair application (the seed semantics): each interaction
+    /// samples from the *live* configuration, so no overdraw is possible.
+    /// Only used as the rare-tally fallback.
+    fn apply_pairwise(&mut self, len: u64) {
+        for _ in 0..len {
+            let a = self.tree.sample(&mut self.rng);
+            let mut b = self.tree.sample(&mut self.rng);
+            // A single-agent state cannot interact with itself: redraw the
+            // responder (another state is occupied since n ≥ 2).
+            while b == a && self.counts[a] < 2 {
+                b = self.tree.sample(&mut self.rng);
+            }
+            let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
+            if (a2, b2) == (a, b) {
+                continue;
+            }
+            for (s, d) in [(a, -1i64), (b, -1), (a2, 1), (b2, 1)] {
+                self.counts[s] = self.counts[s].checked_add_signed(d).expect("live sample");
+                self.tree.add(s, d);
+            }
+        }
+    }
+
+    /// Run until convergence or budget exhaustion. Convergence is checked
+    /// between batches (a batch is `Θ(√n)` interactions, finer than the
+    /// sequential engine's default `n`-interaction stride);
+    /// `opts.check_every` is not used. The final batch is truncated to the
+    /// interaction budget.
+    pub fn run(&mut self, opts: &RunOptions) -> RunResult {
+        loop {
+            if let Some(output) = self.protocol.output(&self.counts) {
+                return self.finish(RunStatus::Converged, Some(output));
+            }
+            if self.interactions >= opts.max_interactions {
+                return self.finish(RunStatus::Exhausted, None);
+            }
+            let len = draw_batch_len(&mut self.rng, self.n)
+                .min(opts.max_interactions - self.interactions);
+            self.apply_batch(len);
+        }
+    }
+
+    fn finish(&self, status: RunStatus, output: Option<u32>) -> RunResult {
+        RunResult {
+            status,
+            output,
+            interactions: self.interactions,
+            parallel_time: self.parallel_time(),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// One-way epidemic as a table protocol: state 1 infects state 0.
+    pub(crate) struct Epi;
+    impl TableProtocol for Epi {
+        fn states(&self) -> usize {
+            2
+        }
+
+        fn is_deterministic(&self) -> bool {
+            true
+        }
+        fn delta(&self, a: usize, b: usize, _rng: &mut SimRng) -> (usize, usize) {
+            if a == 1 || b == 1 {
+                (1, 1)
+            } else {
+                (0, 0)
+            }
+        }
+        fn output(&self, counts: &[u64]) -> Option<u32> {
+            (counts[0] == 0).then_some(1)
+        }
+    }
+
+    /// 3-state approximate majority (blank 0, A 1, B 2).
+    pub(crate) struct Am3;
+    impl TableProtocol for Am3 {
+        fn states(&self) -> usize {
+            3
+        }
+
+        fn is_deterministic(&self) -> bool {
+            true
+        }
+        fn delta(&self, a: usize, b: usize, _rng: &mut SimRng) -> (usize, usize) {
+            match (a, b) {
+                (1, 2) | (2, 1) => (a, 0),
+                (1, 0) => (1, 1),
+                (2, 0) => (2, 2),
+                _ => (a, b),
+            }
+        }
+        fn output(&self, counts: &[u64]) -> Option<u32> {
+            if counts[0] == 0 && counts[2] == 0 {
+                Some(1)
+            } else if counts[0] == 0 && counts[1] == 0 {
+                Some(2)
+            } else {
+                None
+            }
+        }
+    }
+
+    /// A randomized table: on an (A, B) clash the *pair* flips one fair
+    /// coin and both adopt the winner — drifts nowhere, but exercises the
+    /// per-interaction RNG path.
+    struct CoinClash;
+    impl TableProtocol for CoinClash {
+        fn states(&self) -> usize {
+            2
+        }
+        fn delta(&self, a: usize, b: usize, rng: &mut SimRng) -> (usize, usize) {
+            use rand::Rng;
+            if a != b {
+                let w = usize::from(rng.gen::<bool>());
+                (w, w)
+            } else {
+                (a, b)
+            }
+        }
+        fn output(&self, counts: &[u64]) -> Option<u32> {
+            counts
+                .iter()
+                .position(|&c| c == 0)
+                .map(|loser| 1 - loser as u32)
+        }
+    }
+
+    #[test]
+    fn population_is_conserved() {
+        let mut sim = BatchSimulation::new(Am3, vec![0, 600, 400], 3);
+        for _ in 0..100 {
+            sim.step_batch();
+            assert_eq!(sim.counts().iter().sum::<u64>(), 1000);
+        }
+    }
+
+    #[test]
+    fn epidemic_completes_in_logarithmic_time() {
+        let n = 1 << 16;
+        let mut sim = BatchSimulation::new(Epi, vec![n - 1, 1], 9);
+        let r = sim.run(&RunOptions::default());
+        assert_eq!(r.status, RunStatus::Converged);
+        let model = (n as f64).log2() + (n as f64).ln();
+        assert!(
+            (r.parallel_time - model).abs() < model,
+            "epidemic time {} vs model {model}",
+            r.parallel_time
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential_epidemic_distribution() {
+        // Compare median completion times of the batched and sequential
+        // engines on the same protocol: they must agree within ~15%.
+        use crate::protocol::Protocol;
+        use crate::sim::Simulation;
+
+        struct SeqEpi;
+        impl Protocol for SeqEpi {
+            type State = u8;
+            fn interact(&mut self, _t: u64, a: &mut u8, b: &mut u8, _rng: &mut SimRng) {
+                let i = *a | *b;
+                *a = i;
+                *b = i;
+            }
+            fn converged(&self, states: &[u8]) -> Option<u32> {
+                states.iter().all(|&s| s == 1).then_some(1)
+            }
+        }
+
+        let n = 4096usize;
+        let median = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v[v.len() / 2]
+        };
+        // The sequential engine checks convergence every 64 interactions so
+        // its reported times are not quantised to whole parallel-time units
+        // (the batched engine checks every Θ(√n)-interaction batch).
+        let seq_opts = RunOptions {
+            max_interactions: u64::MAX,
+            check_every: 64,
+        };
+        let seq: Vec<f64> = (0..25)
+            .map(|seed| {
+                let mut states = vec![0u8; n];
+                states[0] = 1;
+                let mut sim = Simulation::new(SeqEpi, states, seed);
+                sim.run(&seq_opts).parallel_time
+            })
+            .collect();
+        let bat: Vec<f64> = (0..25)
+            .map(|seed| {
+                let mut sim = BatchSimulation::new(Epi, vec![n as u64 - 1, 1], 1000 + seed);
+                sim.run(&RunOptions::default()).parallel_time
+            })
+            .collect();
+        let (ms, mb) = (median(seq), median(bat));
+        assert!(
+            (ms - mb).abs() / ms < 0.15,
+            "sequential {ms} vs batched {mb} diverge"
+        );
+    }
+
+    #[test]
+    fn batched_majority_picks_large_bias_winner() {
+        let n = 1_000_000u64;
+        let mut sim = BatchSimulation::new(Am3, vec![0, n * 3 / 5, n * 2 / 5], 11);
+        let r = sim.run(&RunOptions {
+            max_interactions: 200 * n,
+            check_every: 0,
+        });
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(1));
+    }
+
+    #[test]
+    fn hundred_million_agents_converge_quickly() {
+        // The point of the multinomial engine: n = 10⁸ is interactive.
+        let n = 100_000_000u64;
+        let mut sim = BatchSimulation::new(Am3, vec![0, n / 2 + n / 10, n / 2 - n / 10], 5);
+        let r = sim.run(&RunOptions {
+            max_interactions: 100 * n,
+            check_every: 0,
+        });
+        assert_eq!(r.status, RunStatus::Converged);
+        assert_eq!(r.output, Some(1));
+        assert!(
+            r.parallel_time < 15.0 * (n as f64).ln(),
+            "time {}",
+            r.parallel_time
+        );
+    }
+
+    #[test]
+    fn randomized_tables_converge_and_conserve() {
+        let n = 10_000u64;
+        let mut sim = BatchSimulation::new(CoinClash, vec![n / 2, n / 2], 13);
+        let r = sim.run(&RunOptions {
+            max_interactions: 20_000 * n,
+            check_every: 0,
+        });
+        assert_eq!(r.status, RunStatus::Converged);
+        assert!(r.output == Some(0) || r.output == Some(1));
+        assert_eq!(sim.counts().iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn randomized_coin_is_fair_across_runs() {
+        // At a 50/50 start the coin-clash walk is symmetric: either side
+        // should win a healthy share of runs.
+        let n = 2_000u64;
+        let wins0 = (0..40)
+            .filter(|&seed| {
+                let mut sim = BatchSimulation::new(CoinClash, vec![n / 2, n / 2], seed);
+                let r = sim.run(&RunOptions {
+                    max_interactions: 100_000 * n,
+                    check_every: 0,
+                });
+                r.output == Some(0)
+            })
+            .count();
+        assert!((5..=35).contains(&wins0), "state 0 won {wins0}/40 runs");
+    }
+
+    #[test]
+    fn budget_is_respected_and_batches_truncated() {
+        let n = 100_000u64;
+        let mut sim = BatchSimulation::new(Am3, vec![n, 0, 0], 2);
+        let r = sim.run(&RunOptions {
+            max_interactions: 1000,
+            check_every: 0,
+        });
+        assert_eq!(r.status, RunStatus::Exhausted);
+        assert_eq!(
+            r.interactions, 1000,
+            "final batch must truncate to the budget"
+        );
+    }
+
+    #[test]
+    fn overdraw_prone_configurations_stay_consistent() {
+        // One agent of state 1 in a sea of state 0: every batch risks
+        // overdrawing state 1, exercising the retry/fallback path.
+        struct Swap;
+        impl TableProtocol for Swap {
+            fn states(&self) -> usize {
+                2
+            }
+
+            fn is_deterministic(&self) -> bool {
+                true
+            }
+            fn delta(&self, a: usize, b: usize, _rng: &mut SimRng) -> (usize, usize) {
+                (b, a)
+            }
+            fn output(&self, _counts: &[u64]) -> Option<u32> {
+                None
+            }
+        }
+        let mut sim = BatchSimulation::new(Swap, vec![999, 1], 7);
+        for _ in 0..2000 {
+            sim.step_batch();
+            assert_eq!(sim.counts().iter().sum::<u64>(), 1000);
+            assert_eq!(sim.counts()[1], 1, "swap conserves the single token");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_counts_rejected() {
+        let _ = BatchSimulation::new(Epi, vec![1, 1, 1], 0);
+    }
+}

@@ -10,7 +10,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Number of worker threads to use by default: the machine's available
 /// parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 /// Run `trials` independent trials of `f` (called with the trial index) on
@@ -55,7 +57,10 @@ where
         }
     });
 
-    slots.into_iter().map(|s| s.expect("trial slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("trial slot filled"))
+        .collect()
 }
 
 /// Wrapper making the raw slot pointer `Sync`; safety argument at the write

@@ -1,4 +1,4 @@
-//! Simulation engine for population protocols.
+//! Simulation engines for population protocols.
 //!
 //! The *population protocol* model (Angluin et al.) consists of `n`
 //! anonymous agents, each a finite state machine. In every discrete step the
@@ -7,11 +7,57 @@
 //! their states through a common transition function. *Parallel time* is the
 //! number of interactions divided by `n`.
 //!
+//! # The two engines
+//!
+//! **Sequential** ([`Simulation`]): one agent-state vector, one interaction
+//! per step. The pair draw is the hot path: both indices come out of a
+//! single RNG word (Lemire bounded sampling on `0..n·(n−1)`, see
+//! [`pair::sample_pair`]) whenever `n < 2³²`, and the `O(n)` convergence
+//! scan runs on a stride cached once per run — never mid-stride. This
+//! engine handles *any* [`Protocol`], including the paper's own
+//! `Θ(k + log n)`-state algorithms with their milestone bookkeeping, and
+//! tops out around `n ≈ 10⁶` in practice.
+//!
+//! **Batched configuration-space** ([`BatchSimulation`], module
+//! [`batch`]): for protocols expressible as a [`TableProtocol`] — a
+//! transition table over a small enumerable state space whose convergence
+//! predicate reads only per-state counts — the engine advances in
+//! collision-free batches of `Θ(√n)` interactions. Batch lengths are
+//! sampled in `O(1)` by inverting the birthday survival function; each
+//! batch becomes one *multinomial tally* of ordered state pairs (binomial
+//! splits, `O(S·√ℓ)` per batch) applied with multiplicity, with a
+//! Fenwick-tree sampler covering the small-count cases in `O(log S)`.
+//! Per-interaction cost is **sub-constant**: throughput *grows* with `n`
+//! (billions of interactions per second at `n = 10⁸`, see
+//! `BENCH_engine.json`). Randomized transitions are supported — the table
+//! receives the scheduler RNG and declares itself via
+//! [`TableProtocol::is_deterministic`].
+//!
+//! **Accuracy contract.** Batch participants are sampled *with
+//! replacement* from the configuration, deviating from the exact
+//! without-replacement law by `O(ℓ²/n)` total variation per batch — with
+//! `ℓ = Θ(√n)` that is `O(1)` interactions' worth of drift per batch, and
+//! observable statistics (convergence-time medians, winner distributions)
+//! match the sequential engine within the 15% tolerance enforced by
+//! `tests/engine_equivalence.rs`. Use the sequential engine when
+//! trajectory-exact semantics matter; use the batched engine for scaling
+//! curves and baseline arms.
+//!
+//! **Fast-path checklist** for a protocol to run batched: (1) states fit
+//! `0..S` for small `S`; (2) the transition is a function of the two
+//! states (plus randomness) only — no interaction-index or per-agent
+//! identity dependence; (3) convergence reads the counts vector. The
+//! constant-state baselines (USD, 3-/4-state majority, epidemics) all
+//! qualify; adapters live next to each protocol.
+//!
 //! This crate provides the infrastructure shared by every protocol in the
 //! workspace:
 //!
 //! * [`Protocol`] — the transition-function interface,
-//! * [`Simulation`] — a sequential scheduler with convergence detection,
+//! * [`Simulation`] — the sequential scheduler with convergence detection,
+//! * [`batch`] — the configuration-space engines:
+//!   [`BatchSimulation`] (multinomial tallies) and
+//!   [`PairwiseBatchSimulation`] (the per-pair reference),
 //! * [`Census`] — exact tracking of the set of distinct agent states visited
 //!   (used to validate state-space bounds such as `O(k + log n)`),
 //! * [`ensemble`] — embarrassingly-parallel execution of independent trials,
@@ -54,7 +100,7 @@ pub mod result;
 pub mod rng;
 pub mod sim;
 
-pub use batch::{BatchSimulation, TableProtocol};
+pub use batch::{BatchSimulation, Fenwick, PairwiseBatchSimulation, TableProtocol};
 pub use census::Census;
 pub use protocol::{Protocol, SimRng};
 pub use result::{RunOptions, RunResult, RunStatus};

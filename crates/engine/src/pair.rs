@@ -6,14 +6,29 @@ use crate::protocol::SimRng;
 
 /// Draw an ordered pair of distinct indices uniformly from `0..n`.
 ///
+/// Hot path of the sequential scheduler: whenever `n·(n−1)` fits in a
+/// `u64` (every population below 2³² agents), both indices come out of a
+/// *single* bounded draw from `0..n·(n−1)` (Lemire multiply-shift inside
+/// the RNG's `gen_range`) decomposed as `(v / (n−1), v mod (n−1))` —
+/// instead of two bounded draws.
+///
 /// # Panics
 ///
 /// Panics if `n < 2`.
 #[inline]
 pub fn sample_pair(rng: &mut SimRng, n: usize) -> (usize, usize) {
     debug_assert!(n >= 2, "population must contain at least two agents");
-    let i = rng.gen_range(0..n);
-    let mut j = rng.gen_range(0..n - 1);
+    let i;
+    let mut j;
+    if n as u64 <= 1u64 << 32 {
+        let pairs = (n as u64) * (n as u64 - 1);
+        let v = rng.gen_range(0..pairs);
+        i = (v / (n as u64 - 1)) as usize;
+        j = (v % (n as u64 - 1)) as usize;
+    } else {
+        i = rng.gen_range(0..n);
+        j = rng.gen_range(0..n - 1);
+    }
     if j >= i {
         j += 1;
     }
@@ -77,6 +92,33 @@ mod tests {
             let dev = (c as f64 - expect).abs() / expect;
             assert!(dev < 0.05, "pair {pair:?} count {c} deviates {dev:.3}");
         }
+    }
+
+    #[test]
+    fn one_word_path_is_uniform_over_ordered_pairs() {
+        // n = 100 exercises the single-RNG-word decomposition; every
+        // ordered pair must appear with frequency 1/(n·(n−1)).
+        let mut rng = SimRng::seed_from_u64(21);
+        let n = 100;
+        let trials = 2_000_000;
+        let mut counts = vec![0u32; n * n];
+        for _ in 0..trials {
+            let (i, j) = sample_pair(&mut rng, n);
+            assert_ne!(i, j);
+            counts[i * n + j] += 1;
+        }
+        let expect = trials as f64 / (n * (n - 1)) as f64;
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            assert_eq!(counts[i * n + i], 0, "self-pair ({i},{i}) drawn");
+            for j in 0..n {
+                if i != j {
+                    worst = worst.max((counts[i * n + j] as f64 - expect).abs() / expect);
+                }
+            }
+        }
+        // ~200 expected per cell; 5σ ≈ 0.35 relative.
+        assert!(worst < 0.4, "worst cell deviation {worst:.3}");
     }
 
     #[test]

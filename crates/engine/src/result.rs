@@ -42,7 +42,10 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { max_interactions: u64::MAX, check_every: 0 }
+        Self {
+            max_interactions: u64::MAX,
+            check_every: 0,
+        }
     }
 }
 
@@ -75,7 +78,10 @@ mod tests {
             parallel_time: 1.0,
         };
         assert!(!r.is_correct(1));
-        let r = RunResult { status: RunStatus::Converged, ..r };
+        let r = RunResult {
+            status: RunStatus::Converged,
+            ..r
+        };
         assert!(r.is_correct(1));
         assert!(!r.is_correct(2));
     }

@@ -24,8 +24,16 @@ impl<P: Protocol> Simulation<P> {
     ///
     /// Panics if fewer than two agents are supplied.
     pub fn new(protocol: P, states: Vec<P::State>, seed: u64) -> Self {
-        assert!(states.len() >= 2, "population must contain at least two agents");
-        Self { protocol, states, rng: SimRng::seed_from_u64(seed), interactions: 0 }
+        assert!(
+            states.len() >= 2,
+            "population must contain at least two agents"
+        );
+        Self {
+            protocol,
+            states,
+            rng: SimRng::seed_from_u64(seed),
+            interactions: 0,
+        }
     }
 
     /// Number of agents.
@@ -80,6 +88,7 @@ impl<P: Protocol> Simulation<P> {
         // Split the borrow: the closure needs `census` while `run_inner`
         // borrows `self` mutably, so the recording happens on indices.
         let opts = *opts;
+        let stride = self.check_stride(&opts);
         loop {
             if let Some(output) = self.check(&opts) {
                 return self.finish(RunStatus::Converged, Some(output));
@@ -87,7 +96,7 @@ impl<P: Protocol> Simulation<P> {
             if self.interactions >= opts.max_interactions {
                 return self.finish(RunStatus::Exhausted, None);
             }
-            let steps = self.steps_until_next_check(&opts);
+            let steps = stride.min(opts.max_interactions - self.interactions);
             for _ in 0..steps {
                 let (i, j) = self.step();
                 census.record(self.protocol.encode(&self.states[i]));
@@ -111,6 +120,7 @@ impl<P: Protocol> Simulation<P> {
         opts: &RunOptions,
         mut observe: impl FnMut(u64, &[P::State]),
     ) -> RunResult {
+        let stride = self.check_stride(opts);
         loop {
             observe(self.interactions, &self.states);
             if let Some(output) = self.check(opts) {
@@ -119,7 +129,7 @@ impl<P: Protocol> Simulation<P> {
             if self.interactions >= opts.max_interactions {
                 return self.finish(RunStatus::Exhausted, None);
             }
-            let steps = self.steps_until_next_check(opts);
+            let steps = stride.min(opts.max_interactions - self.interactions);
             for _ in 0..steps {
                 self.step();
             }
@@ -130,9 +140,15 @@ impl<P: Protocol> Simulation<P> {
         self.protocol.converged(&self.states)
     }
 
-    fn steps_until_next_check(&self, opts: &RunOptions) -> u64 {
-        let every = if opts.check_every == 0 { self.n() as u64 } else { opts.check_every };
-        every.min(opts.max_interactions - self.interactions)
+    /// The convergence-check stride, resolved once per run: `converged` is
+    /// an `O(n)` scan, so the hot loop must never recompute or rescan
+    /// mid-stride.
+    fn check_stride(&self, opts: &RunOptions) -> u64 {
+        if opts.check_every == 0 {
+            self.n() as u64
+        } else {
+            opts.check_every
+        }
     }
 
     fn finish(&self, status: RunStatus, output: Option<u32>) -> RunResult {
@@ -184,7 +200,10 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let mut sim = Simulation::new(Touch, vec![0u32; 1000], 1);
-        let result = sim.run(&RunOptions { max_interactions: 10, check_every: 0 });
+        let result = sim.run(&RunOptions {
+            max_interactions: 10,
+            check_every: 0,
+        });
         assert_eq!(result.status, RunStatus::Exhausted);
         assert_eq!(result.interactions, 10);
     }
@@ -204,7 +223,11 @@ mod tests {
         let mut census = Census::new();
         sim.run_with_census(&RunOptions::default(), &mut census);
         // Encodings are clamped to 0..=3.
-        assert!(census.len() >= 2 && census.len() <= 4, "census = {}", census.len());
+        assert!(
+            census.len() >= 2 && census.len() <= 4,
+            "census = {}",
+            census.len()
+        );
     }
 
     #[test]

@@ -277,6 +277,9 @@ mod tests {
         b.best_coin = true;
         b.candidate = false;
         lottery.interact(&mut a, &mut b, &mut rng);
-        assert!(!a.candidate, "hour-0 candidate must retire against an hour-5 token");
+        assert!(
+            !a.candidate,
+            "hour-0 candidate must retire against an hour-5 token"
+        );
     }
 }

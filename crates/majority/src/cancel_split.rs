@@ -85,9 +85,13 @@ impl CancelSplit {
     /// declare only after `window·(levels + 1 + tail_windows)` own
     /// interactions, giving same-level stragglers extra chances to cancel.
     pub fn with_tail(levels: u8, window: u32, tail_windows: u32) -> Self {
-        assert!(levels >= 1 && levels <= 62);
+        assert!((1..=62).contains(&levels));
         assert!(window >= 1);
-        Self { levels, window, tail_windows }
+        Self {
+            levels,
+            window,
+            tail_windows,
+        }
     }
 
     /// Standard configuration for a population of `n` agents:
@@ -132,7 +136,12 @@ impl CancelSplit {
             Verdict::B => -1,
             Verdict::Tie => 0,
         };
-        MajState { sign, level: 0, out: Verdict::Tie, t: 0 }
+        MajState {
+            sign,
+            level: 0,
+            out: Verdict::Tie,
+            t: 0,
+        }
     }
 
     /// The agent's signed value in units of `2^(−L)`.
@@ -216,7 +225,11 @@ impl CancelSplit {
                         i32::MAX
                     }
                 };
-                let loser = if depth(a) > depth(b) { &mut *a } else { &mut *b };
+                let loser = if depth(a) > depth(b) {
+                    &mut *a
+                } else {
+                    &mut *b
+                };
                 loser.sign = 0;
                 loser.out = Verdict::Tie;
             }
@@ -252,9 +265,9 @@ impl CancelSplitRun {
         let n = a + b + undecided;
         let cfg = CancelSplit::for_population(n, window);
         let mut states = Vec::with_capacity(n);
-        states.extend(std::iter::repeat(cfg.init_state(Verdict::A)).take(a));
-        states.extend(std::iter::repeat(cfg.init_state(Verdict::B)).take(b));
-        states.extend(std::iter::repeat(cfg.init_state(Verdict::Tie)).take(undecided));
+        states.extend(std::iter::repeat_n(cfg.init_state(Verdict::A), a));
+        states.extend(std::iter::repeat_n(cfg.init_state(Verdict::B), b));
+        states.extend(std::iter::repeat_n(cfg.init_state(Verdict::Tie), undecided));
         (Self { cfg }, states)
     }
 
@@ -306,8 +319,18 @@ mod tests {
     #[test]
     fn cancel_rule_annihilates_equal_levels() {
         let cfg = CancelSplit::new(4, 100);
-        let mut a = MajState { sign: 1, level: 2, out: Verdict::Tie, t: 0 };
-        let mut b = MajState { sign: -1, level: 2, out: Verdict::Tie, t: 0 };
+        let mut a = MajState {
+            sign: 1,
+            level: 2,
+            out: Verdict::Tie,
+            t: 0,
+        };
+        let mut b = MajState {
+            sign: -1,
+            level: 2,
+            out: Verdict::Tie,
+            t: 0,
+        };
         cfg.interact(&mut a, &mut b);
         assert_eq!((a.sign, b.sign), (0, 0));
     }
@@ -315,8 +338,18 @@ mod tests {
     #[test]
     fn adjacent_levels_absorb() {
         let cfg = CancelSplit::new(4, 100);
-        let mut a = MajState { sign: 1, level: 1, out: Verdict::Tie, t: 0 };
-        let mut b = MajState { sign: -1, level: 2, out: Verdict::Tie, t: 0 };
+        let mut a = MajState {
+            sign: 1,
+            level: 1,
+            out: Verdict::Tie,
+            t: 0,
+        };
+        let mut b = MajState {
+            sign: -1,
+            level: 2,
+            out: Verdict::Tie,
+            t: 0,
+        };
         let before = cfg.signed_value(&a) + cfg.signed_value(&b);
         cfg.interact(&mut a, &mut b);
         // +2^(−1) absorbs −2^(−2): survivor +2^(−2), partner zeroed.
@@ -327,8 +360,18 @@ mod tests {
     #[test]
     fn distant_levels_do_not_interact() {
         let cfg = CancelSplit::new(4, 100);
-        let mut a = MajState { sign: 1, level: 0, out: Verdict::Tie, t: 0 };
-        let mut b = MajState { sign: -1, level: 3, out: Verdict::Tie, t: 0 };
+        let mut a = MajState {
+            sign: 1,
+            level: 0,
+            out: Verdict::Tie,
+            t: 0,
+        };
+        let mut b = MajState {
+            sign: -1,
+            level: 3,
+            out: Verdict::Tie,
+            t: 0,
+        };
         cfg.interact(&mut a, &mut b);
         assert_eq!((a.sign, a.level, b.sign, b.level), (1, 0, -1, 3));
     }
@@ -336,12 +379,38 @@ mod tests {
     #[test]
     fn split_halves_into_zero_agent() {
         let cfg = CancelSplit::new(4, 1); // every interaction advances the window
-        let mut a = MajState { sign: 1, level: 0, out: Verdict::Tie, t: 0 };
-        let mut b = MajState { sign: 0, level: 0, out: Verdict::Tie, t: 0 };
+        let mut a = MajState {
+            sign: 1,
+            level: 0,
+            out: Verdict::Tie,
+            t: 0,
+        };
+        let mut b = MajState {
+            sign: 0,
+            level: 0,
+            out: Verdict::Tie,
+            t: 0,
+        };
         // After the bump t=1 ⇒ window 1 ⇒ a (level 0) is behind and splits.
         cfg.interact(&mut a, &mut b);
-        assert_eq!(a, MajState { sign: 1, level: 1, out: Verdict::Tie, t: 1 });
-        assert_eq!(b, MajState { sign: 1, level: 1, out: Verdict::Tie, t: 1 });
+        assert_eq!(
+            a,
+            MajState {
+                sign: 1,
+                level: 1,
+                out: Verdict::Tie,
+                t: 1
+            }
+        );
+        assert_eq!(
+            b,
+            MajState {
+                sign: 1,
+                level: 1,
+                out: Verdict::Tie,
+                t: 1
+            }
+        );
     }
 
     #[test]
@@ -371,7 +440,11 @@ mod tests {
                 j += 1;
             }
             let (lo, hi) = states.split_at_mut(i.max(j));
-            let (x, y) = if i < j { (&mut lo[i], &mut hi[0]) } else { (&mut hi[0], &mut lo[j]) };
+            let (x, y) = if i < j {
+                (&mut lo[i], &mut hi[0])
+            } else {
+                (&mut hi[0], &mut lo[j])
+            };
             cfg.interact(x, y);
         }
         assert!(
@@ -429,6 +502,10 @@ mod tests {
         // window·(L+1) own interactions at ~2 per parallel time unit, plus
         // the output epidemic: well under 60·ln n.
         let bound = 60.0 * (n as f64).ln();
-        assert!(r.parallel_time < bound, "time {} vs bound {bound}", r.parallel_time);
+        assert!(
+            r.parallel_time < bound,
+            "time {} vs bound {bound}",
+            r.parallel_time
+        );
     }
 }

@@ -34,8 +34,8 @@ impl FourState {
     /// Initial configuration with `a` strong-A and `b` strong-B agents.
     pub fn initial_states(a: usize, b: usize) -> Vec<FourStateAgent> {
         let mut v = Vec::with_capacity(a + b);
-        v.extend(std::iter::repeat(FourStateAgent::StrongA).take(a));
-        v.extend(std::iter::repeat(FourStateAgent::StrongB).take(b));
+        v.extend(std::iter::repeat_n(FourStateAgent::StrongA, a));
+        v.extend(std::iter::repeat_n(FourStateAgent::StrongB, b));
         v
     }
 }
@@ -44,7 +44,13 @@ impl Protocol for FourState {
     type State = FourStateAgent;
 
     #[inline]
-    fn interact(&mut self, _t: u64, a: &mut FourStateAgent, b: &mut FourStateAgent, _rng: &mut SimRng) {
+    fn interact(
+        &mut self,
+        _t: u64,
+        a: &mut FourStateAgent,
+        b: &mut FourStateAgent,
+        _rng: &mut SimRng,
+    ) {
         use FourStateAgent::*;
         match (*a, *b) {
             // Strong opposites annihilate into weak opinions.
@@ -90,6 +96,49 @@ impl Protocol for FourState {
             WeakB => 3,
         }
     }
+}
+
+/// The same protocol as a transition table over states `0..4` (the
+/// [`Protocol::encode`] numbering: 0 = strong A, 1 = strong B, 2 = weak a,
+/// 3 = weak b), runnable on the batched configuration-space engines for
+/// `n ≥ 10⁸` experiments.
+impl pp_engine::TableProtocol for FourState {
+    fn states(&self) -> usize {
+        4
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn delta(&self, a: usize, b: usize, _rng: &mut SimRng) -> (usize, usize) {
+        match (a, b) {
+            // Strong opposites annihilate into weak opinions.
+            (0, 1) => (2, 3),
+            (1, 0) => (3, 2),
+            // Strong agents convert weak opposites.
+            (0, 3) => (0, 2),
+            (1, 2) => (1, 3),
+            (3, 0) => (2, 0),
+            (2, 1) => (3, 1),
+            _ => (a, b),
+        }
+    }
+
+    fn output(&self, counts: &[u64]) -> Option<u32> {
+        let saw_a = counts[0] + counts[2] > 0;
+        let saw_b = counts[1] + counts[3] > 0;
+        match (saw_a, saw_b) {
+            (true, true) => None,
+            (true, false) => Some(1),
+            (false, _) => Some(2),
+        }
+    }
+}
+
+/// Initial per-state counts for the table form: `a` strong-A, `b` strong-B.
+pub fn four_state_counts(a: u64, b: u64) -> Vec<u64> {
+    vec![a, b, 0, 0]
 }
 
 /// Token difference `#StrongA − #StrongB`: invariant under all transitions.
@@ -145,10 +194,55 @@ mod tests {
                 j += 1;
             }
             let (lo, hi) = states.split_at_mut(i.max(j));
-            let (x, y) = if i < j { (&mut lo[i], &mut hi[0]) } else { (&mut hi[0], &mut lo[j]) };
+            let (x, y) = if i < j {
+                (&mut lo[i], &mut hi[0])
+            } else {
+                (&mut hi[0], &mut lo[j])
+            };
             p.interact(0, x, y, &mut rng);
         }
         assert_eq!(token_difference(&states), d0);
+    }
+
+    #[test]
+    fn table_form_matches_agent_form() {
+        use pp_engine::TableProtocol;
+        let mut p = FourState;
+        let mut rng = <SimRng as rand::SeedableRng>::seed_from_u64(6);
+        let decode = |s: usize| match s {
+            0 => FourStateAgent::StrongA,
+            1 => FourStateAgent::StrongB,
+            2 => FourStateAgent::WeakA,
+            _ => FourStateAgent::WeakB,
+        };
+        for a in 0usize..4 {
+            for b in 0usize..4 {
+                let (mut x, mut y) = (decode(a), decode(b));
+                p.interact(0, &mut x, &mut y, &mut rng);
+                let (tx, ty) = TableProtocol::delta(&FourState, a, b, &mut rng);
+                assert_eq!(
+                    (p.encode(&x), p.encode(&y)),
+                    (tx as u64, ty as u64),
+                    "mismatch at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_four_state_is_exact_at_scale() {
+        use pp_engine::BatchSimulation;
+        let n = 1_000_000u64;
+        // Minority-heavy weak start is irrelevant for the table: strong
+        // counts decide. Bias n/100 keeps runtime tame at this n.
+        let counts = four_state_counts(n / 2 + n / 100, n / 2 - n / 100);
+        let mut sim = BatchSimulation::new(FourState, counts, 19);
+        let r = sim.run(&pp_engine::RunOptions {
+            max_interactions: 2000 * n,
+            check_every: 0,
+        });
+        assert_eq!(r.status, pp_engine::RunStatus::Converged);
+        assert_eq!(r.output, Some(1));
     }
 
     #[test]

@@ -18,5 +18,5 @@ pub mod four_state;
 pub mod three_state;
 
 pub use cancel_split::{CancelSplit, CancelSplitRun, MajState, Verdict};
-pub use four_state::FourState;
+pub use four_state::{four_state_counts, FourState};
 pub use three_state::ThreeState;

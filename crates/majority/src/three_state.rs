@@ -28,8 +28,8 @@ impl ThreeState {
     /// Initial configuration with `a` supporters of A, `b` of B.
     pub fn initial_states(a: usize, b: usize) -> Vec<ThreeStateAgent> {
         let mut v = Vec::with_capacity(a + b);
-        v.extend(std::iter::repeat(A).take(a));
-        v.extend(std::iter::repeat(B).take(b));
+        v.extend(std::iter::repeat_n(A, a));
+        v.extend(std::iter::repeat_n(B, b));
         v
     }
 }
@@ -65,7 +65,11 @@ impl pp_engine::TableProtocol for ThreeState {
         3
     }
 
-    fn delta(&self, a: usize, b: usize) -> (usize, usize) {
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn delta(&self, a: usize, b: usize, _rng: &mut SimRng) -> (usize, usize) {
         let (a8, b8) = (a as u8, b as u8);
         match (a8, b8) {
             (A, B) | (B, A) => (a, usize::from(BLANK)),
@@ -110,7 +114,11 @@ mod tests {
         let mut sim = Simulation::new(ThreeState, states, 7);
         let r = sim.run(&RunOptions::with_parallel_time_budget(n, 2000.0));
         assert_eq!(r.status, RunStatus::Converged);
-        assert!(r.parallel_time < 15.0 * (n as f64).ln(), "time {}", r.parallel_time);
+        assert!(
+            r.parallel_time < 15.0 * (n as f64).ln(),
+            "time {}",
+            r.parallel_time
+        );
     }
 
     #[test]
@@ -128,7 +136,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong > 5, "3-state majority should often fail at bias 1, failed {wrong}/{trials}");
+        assert!(
+            wrong > 5,
+            "3-state majority should often fail at bias 1, failed {wrong}/{trials}"
+        );
     }
 
     #[test]
@@ -151,8 +162,12 @@ mod tests {
             for b in 0u8..3 {
                 let (mut x, mut y) = (a, b);
                 p.interact(0, &mut x, &mut y, &mut rng);
-                let (tx, ty) = t.delta(usize::from(a), usize::from(b));
-                assert_eq!((usize::from(x), usize::from(y)), (tx, ty), "mismatch at ({a},{b})");
+                let (tx, ty) = t.delta(usize::from(a), usize::from(b), &mut rng);
+                assert_eq!(
+                    (usize::from(x), usize::from(y)),
+                    (tx, ty),
+                    "mismatch at ({a},{b})"
+                );
             }
         }
     }
@@ -161,7 +176,10 @@ mod tests {
     fn million_agent_majority_via_batch_engine() {
         let n = 1_000_000u64;
         let mut sim = BatchSimulation::new(ThreeState, vec![0, n / 2 + n / 8, n / 2 - n / 8], 7);
-        let r = sim.run(&RunOptions { max_interactions: 200 * n, check_every: 0 });
+        let r = sim.run(&RunOptions {
+            max_interactions: 200 * n,
+            check_every: 0,
+        });
         assert_eq!(r.status, RunStatus::Converged);
         assert_eq!(r.output, Some(u32::from(A)));
         assert!(r.parallel_time < 15.0 * (n as f64).ln());

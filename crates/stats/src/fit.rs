@@ -28,7 +28,11 @@ pub fn fit_through_origin(x: &[f64], y: &[f64]) -> Fit {
     let sxx: f64 = x.iter().map(|xi| xi * xi).sum();
     assert!(sxx > 0.0, "cannot fit through origin with all-zero x");
     let a = sxy / sxx;
-    Fit { a, b: 0.0, r2: r_squared(y, &x.iter().map(|xi| a * xi).collect::<Vec<_>>()) }
+    Fit {
+        a,
+        b: 0.0,
+        r2: r_squared(y, &x.iter().map(|xi| a * xi).collect::<Vec<_>>()),
+    }
 }
 
 /// Fit `y ≈ a·x + b`.
@@ -47,7 +51,11 @@ pub fn fit_affine(x: &[f64], y: &[f64]) -> Fit {
     let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
     let a = sxy / sxx;
     let b = my - a * mx;
-    Fit { a, b, r2: r_squared(y, &x.iter().map(|xi| a * xi + b).collect::<Vec<_>>()) }
+    Fit {
+        a,
+        b,
+        r2: r_squared(y, &x.iter().map(|xi| a * xi + b).collect::<Vec<_>>()),
+    }
 }
 
 fn r_squared(y: &[f64], pred: &[f64]) -> f64 {
@@ -103,8 +111,7 @@ mod tests {
         let x: Vec<f64> = (1..=8).map(f64::from).collect();
         let y: Vec<f64> = x.iter().map(|v| v * v).collect();
         let linear = fit_through_origin(&x, &y);
-        let quadratic =
-            fit_through_origin(&x.iter().map(|v| v * v).collect::<Vec<_>>(), &y);
+        let quadratic = fit_through_origin(&x.iter().map(|v| v * v).collect::<Vec<_>>(), &y);
         assert!(quadratic.r2 > linear.r2);
         assert!((quadratic.r2 - 1.0).abs() < 1e-12);
     }

@@ -19,7 +19,10 @@ pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
     let denom = 1.0 + z2 / n;
     let centre = p + z2 / (2.0 * n);
     let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-    (((centre - margin) / denom).max(0.0), ((centre + margin) / denom).min(1.0))
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
 }
 
 #[cfg(test)]

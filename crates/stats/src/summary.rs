@@ -25,7 +25,10 @@ impl Summary {
     /// Panics on an empty sample or non-finite values.
     pub fn of(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "cannot summarise an empty sample");
-        assert!(values.iter().all(|v| v.is_finite()), "sample contains non-finite values");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "sample contains non-finite values"
+        );
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {

@@ -31,7 +31,11 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn push(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
     }
 
@@ -93,11 +97,18 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }

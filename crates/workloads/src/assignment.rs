@@ -24,7 +24,7 @@ impl OpinionAssignment {
         let mut opinions = Vec::with_capacity(counts.n());
         for (idx, &support) in counts.supports().iter().enumerate() {
             let op = (idx + 1) as u16;
-            opinions.extend(std::iter::repeat(op).take(support));
+            opinions.extend(std::iter::repeat_n(op, support));
         }
         Self { counts, opinions }
     }

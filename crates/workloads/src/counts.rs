@@ -21,7 +21,10 @@ impl Counts {
     /// Panics if any support is zero or the maximum is not unique.
     pub fn from_supports(supports: Vec<usize>) -> Self {
         assert!(!supports.is_empty(), "need at least one opinion");
-        assert!(supports.iter().all(|&x| x >= 1), "all opinions must start supported");
+        assert!(
+            supports.iter().all(|&x| x >= 1),
+            "all opinions must start supported"
+        );
         let max = *supports.iter().max().expect("non-empty");
         let max_count = supports.iter().filter(|&&x| x == max).count();
         assert_eq!(max_count, 1, "plurality opinion must be unique");
@@ -67,7 +70,7 @@ impl Counts {
         }
         let c = Self::from_supports(supports);
         debug_assert!(
-            c.bias() == 1 || (k == 2 && n % 2 == 0 && c.bias() == 2),
+            c.bias() == 1 || (k == 2 && n.is_multiple_of(2) && c.bias() == 2),
             "bias_one produced bias {} for (n={n}, k={k})",
             c.bias()
         );
@@ -93,7 +96,10 @@ impl Counts {
         let second = (rest - bias) / 2;
         let top = rest - second;
         assert_eq!(top - second, bias + (rest - bias) % 2);
-        assert!(second > small, "small opinions must stay below the runner-up");
+        assert!(
+            second > small,
+            "small opinions must stay below the runner-up"
+        );
         let mut supports = vec![small; k];
         supports[0] = top;
         supports[1] = second;
@@ -118,7 +124,10 @@ impl Counts {
         for i in 0..others {
             supports.push(base + usize::from(i < rem));
         }
-        assert!(x_max > base + usize::from(rem > 0), "x_max must dominate strictly");
+        assert!(
+            x_max > base + usize::from(rem > 0),
+            "x_max must dominate strictly"
+        );
         Self::from_supports(supports)
     }
 
@@ -128,8 +137,10 @@ impl Counts {
         assert!(k >= 1 && n >= 2 * k);
         let weights: Vec<f64> = (1..=k).map(|i| (i as f64).powf(-s)).collect();
         let total: f64 = weights.iter().sum();
-        let mut supports: Vec<usize> =
-            weights.iter().map(|w| ((w / total) * n as f64).floor().max(1.0) as usize).collect();
+        let mut supports: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * n as f64).floor().max(1.0) as usize)
+            .collect();
         let assigned: usize = supports.iter().sum();
         if assigned > n {
             // Trim from the head (largest first) while keeping ≥ 1.
@@ -170,8 +181,10 @@ impl Counts {
         assert!(k >= 1 && n >= 2 * k);
         let weights: Vec<f64> = (0..k).map(|i| ratio.powi(i as i32)).collect();
         let total: f64 = weights.iter().sum();
-        let mut supports: Vec<usize> =
-            weights.iter().map(|w| ((w / total) * n as f64).floor().max(1.0) as usize).collect();
+        let mut supports: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * n as f64).floor().max(1.0) as usize)
+            .collect();
         let assigned: usize = supports.iter().sum();
         if assigned > n {
             let mut excess = assigned - n;
@@ -254,7 +267,15 @@ mod tests {
 
     #[test]
     fn bias_one_has_bias_one_across_shapes() {
-        for (n, k) in [(41, 2), (41, 3), (100, 7), (1000, 13), (96, 4), (97, 4), (98, 4)] {
+        for (n, k) in [
+            (41, 2),
+            (41, 3),
+            (100, 7),
+            (1000, 13),
+            (96, 4),
+            (97, 4),
+            (98, 4),
+        ] {
             let c = Counts::bias_one(n, k);
             assert_eq!(c.n(), n, "n mismatch at ({n},{k})");
             assert_eq!(c.k(), k);

@@ -28,13 +28,19 @@ fn main() {
         // USD baseline.
         let states = Usd::initial_states(assignment.opinions());
         let mut sim = Simulation::new(Usd, states, seed);
-        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 200_000.0));
+        let r = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            200_000.0,
+        ));
         usd_correct += usize::from(r.is_correct(winner));
 
         // Exact protocol.
         let (proto, states) = SimpleAlgorithm::new(&assignment, Tuning::default());
         let mut sim = Simulation::new(proto, states, seed);
-        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 1_000_000.0));
+        let r = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            1_000_000.0,
+        ));
         exact_correct += usize::from(r.is_correct(winner));
     }
 

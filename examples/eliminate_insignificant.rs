@@ -60,7 +60,10 @@ fn main() {
     // --- UnorderedAlgorithm on the same input, for the time contrast. ---
     let (proto, states) = UnorderedAlgorithm::new(&assignment, Tuning::default());
     let mut sim = Simulation::new(proto, states, 11);
-    let result = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 4_000_000.0));
+    let result = sim.run(&RunOptions::with_parallel_time_budget(
+        assignment.n(),
+        4_000_000.0,
+    ));
     match result.output {
         Some(op) => println!(
             "unordered (no pruning): consensus on {op} after {:.0} parallel time ({:.1}x slower)",

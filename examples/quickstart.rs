@@ -21,12 +21,17 @@ fn main() {
 
     let (protocol, states) = SimpleAlgorithm::new(&assignment, Tuning::default());
     let mut sim = Simulation::new(protocol, states, 42);
-    let result = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 1_000_000.0));
+    let result = sim.run(&RunOptions::with_parallel_time_budget(
+        assignment.n(),
+        1_000_000.0,
+    ));
 
     let ms = sim.protocol().milestones();
     println!(
         "initialization ended after {:.0} parallel time",
-        ms.init_end.map(|t| t as f64 / assignment.n() as f64).unwrap_or(f64::NAN)
+        ms.init_end
+            .map(|t| t as f64 / assignment.n() as f64)
+            .unwrap_or(f64::NAN)
     );
     match result.output {
         Some(op) if op == assignment.plurality() => println!(

@@ -26,7 +26,10 @@ fn main() {
 
     let (protocol, states) = UnorderedAlgorithm::new(&assignment, Tuning::default());
     let mut sim = Simulation::new(protocol, states, 7);
-    let result = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 2_000_000.0));
+    let result = sim.run(&RunOptions::with_parallel_time_budget(
+        assignment.n(),
+        2_000_000.0,
+    ));
 
     let n = assignment.n() as f64;
     let ms = *sim.protocol().milestones();

@@ -1,0 +1,275 @@
+//! Self-contained stand-in for the subset of the `criterion` API used by
+//! this workspace's benches.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! small wall-clock benchmark harness with the same call surface:
+//! benchmark groups, `Throughput`, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros. Reported numbers are the
+//! median over `sample_size` timed samples after one warm-up sample;
+//! there is no outlier analysis or HTML report.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: per-iteration element or byte counts turn
+/// elapsed time into rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched inputs are grouped. The shim times every routine call
+/// individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup output; many per batch in real criterion.
+    SmallInput,
+    /// Large setup output; few per batch in real criterion.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Accept (and mostly ignore) `cargo bench` CLI arguments; a bare
+    /// non-flag argument is kept as a substring filter on benchmark names.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" => {}
+                s if s.starts_with("--") => {
+                    // Flags with values (e.g. --sample-size 10): skip value.
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with("--") {
+                            args.next();
+                        }
+                    }
+                    let _ = s;
+                }
+                other => self.filter = Some(other.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let filter = self.filter.clone();
+        run_one(&filter, id, None, 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set how many timed samples to collect (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_one(
+            &self.criterion.filter,
+            &full,
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    filter: &Option<String>,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut ns = bencher.samples_ns;
+    if ns.is_empty() {
+        println!("{id}: no samples");
+        return;
+    }
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = ns[ns.len() / 2];
+    let (lo, hi) = (ns[0], ns[ns.len() - 1]);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(e) => format!("  {} elem/s", human(e as f64 / (median * 1e-9))),
+        Throughput::Bytes(b) => format!("  {} B/s", human(b as f64 / (median * 1e-9))),
+    });
+    println!(
+        "{id}: median {} [{} .. {}]{}",
+        human_ns(median),
+        human_ns(lo),
+        human_ns(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3} K", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Collects timed samples of a routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` over `sample_size` samples (plus one warm-up).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; only the routine is on
+    /// the clock.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // One warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+        c.bench_function("matching-name", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(ran);
+    }
+}

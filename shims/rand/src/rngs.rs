@@ -1,0 +1,80 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic generator: xoshiro256++.
+///
+/// Mirrors the role of `rand::rngs::SmallRng` (which is also
+/// xoshiro256-family on 64-bit targets). Not reproducible against the real
+/// crate's streams — the workspace never relies on specific stream values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut x = state;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut x);
+        }
+        // All-zero state is a fixed point of xoshiro; SplitMix64 cannot
+        // produce four zero words from any seed, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_short_cycles() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let first = rng.next_u64();
+        for _ in 0..10_000 {
+            assert_ne!(rng.next_u64(), first, "suspicious repeat");
+        }
+    }
+
+    #[test]
+    fn bits_are_balanced() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        let mut ones = 0u64;
+        let draws = 10_000;
+        for _ in 0..draws {
+            ones += u64::from(rng.next_u64().count_ones());
+        }
+        let frac = ones as f64 / (draws as f64 * 64.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit balance {frac}");
+    }
+}

@@ -23,7 +23,10 @@ fn same_seed_same_run() {
 fn different_seeds_differ_in_timing() {
     let (_, t1) = run_simple(1);
     let (_, t2) = run_simple(2);
-    assert_ne!(t1, t2, "distinct seeds should not produce identical interaction counts");
+    assert_ne!(
+        t1, t2,
+        "distinct seeds should not produce identical interaction counts"
+    );
 }
 
 #[test]

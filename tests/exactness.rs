@@ -15,15 +15,33 @@ fn run(
     match proto {
         ProtocolBox::Simple(p) => {
             let mut sim = Simulation::new(p, states, seed);
-            (sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), budget)), expected)
+            (
+                sim.run(&RunOptions::with_parallel_time_budget(
+                    assignment.n(),
+                    budget,
+                )),
+                expected,
+            )
         }
         ProtocolBox::Unordered(p) => {
             let mut sim = Simulation::new(p, states, seed);
-            (sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), budget)), expected)
+            (
+                sim.run(&RunOptions::with_parallel_time_budget(
+                    assignment.n(),
+                    budget,
+                )),
+                expected,
+            )
         }
         ProtocolBox::Improved(p) => {
             let mut sim = Simulation::new(p, states, seed);
-            (sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), budget)), expected)
+            (
+                sim.run(&RunOptions::with_parallel_time_budget(
+                    assignment.n(),
+                    budget,
+                )),
+                expected,
+            )
         }
     }
 }

@@ -10,7 +10,10 @@ fn drive(tuning: Tuning, seed: u64) -> RunResult {
     let assignment = counts.assignment();
     let (proto, states) = SimpleAlgorithm::new(&assignment, tuning);
     let mut sim = Simulation::new(proto, states, seed);
-    sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 50_000.0))
+    sim.run(&RunOptions::with_parallel_time_budget(
+        assignment.n(),
+        50_000.0,
+    ))
 }
 
 #[test]
@@ -28,7 +31,11 @@ fn skimpy_constants_never_panic() {
 
 #[test]
 fn tiny_match_window_degrades_not_explodes() {
-    let tuning = Tuning { match_window: 1, match_tail_windows: 0, ..Tuning::default() };
+    let tuning = Tuning {
+        match_window: 1,
+        match_tail_windows: 0,
+        ..Tuning::default()
+    };
     let mut correct = 0;
     for seed in 0..5 {
         let r = drive(tuning, seed);
@@ -42,13 +49,19 @@ fn tiny_match_window_degrades_not_explodes() {
 
 #[test]
 fn unordered_with_skimpy_leader_patience_terminates() {
-    let tuning = Tuning { leader_wait_factor: 0.5, ..Tuning::default() };
+    let tuning = Tuning {
+        leader_wait_factor: 0.5,
+        ..Tuning::default()
+    };
     let counts = Counts::bias_one(401, 3);
     let assignment = counts.assignment();
     for seed in 0..3 {
         let (proto, states) = UnorderedAlgorithm::new(&assignment, tuning);
         let mut sim = Simulation::new(proto, states, seed);
-        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 100_000.0));
+        let r = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            100_000.0,
+        ));
         assert!(r.interactions > 0);
         // With an impatient leader, `fin` may fire before any tournament:
         // the output is then whatever defender existed — wrong but clean.
@@ -67,7 +80,10 @@ fn improved_without_dominant_plurality_still_behaves() {
     for seed in 0..2 {
         let (proto, states) = ImprovedAlgorithm::new(&assignment, Tuning::default());
         let mut sim = Simulation::new(proto, states, seed);
-        let r = sim.run(&RunOptions::with_parallel_time_budget(assignment.n(), 200_000.0));
+        let r = sim.run(&RunOptions::with_parallel_time_budget(
+            assignment.n(),
+            200_000.0,
+        ));
         assert!(r.interactions > 0);
     }
 }

@@ -60,9 +60,9 @@ proptest! {
         // Window large enough that nobody declares within `steps`.
         let cfg = CancelSplit::with_tail(6, 10_000, 0);
         let mut states = Vec::new();
-        states.extend(std::iter::repeat(cfg.init_state(Verdict::A)).take(a));
-        states.extend(std::iter::repeat(cfg.init_state(Verdict::B)).take(b));
-        states.extend(std::iter::repeat(cfg.init_state(Verdict::Tie)).take(u));
+        states.extend(std::iter::repeat_n(cfg.init_state(Verdict::A), a));
+        states.extend(std::iter::repeat_n(cfg.init_state(Verdict::B), b));
+        states.extend(std::iter::repeat_n(cfg.init_state(Verdict::Tie), u));
         let before = total_value(&cfg, &states);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         for _ in 0..steps {

@@ -5,7 +5,7 @@ use exact_plurality::clocks::junta_clock::JuntaClockRun;
 use exact_plurality::clocks::subpop::SubpopClocks;
 use exact_plurality::dynamics::load_balance::discrepancy;
 use exact_plurality::dynamics::{Epidemic, LoadBalance};
-use exact_plurality::engine::{Protocol, RunOptions, RunStatus, SimRng, Simulation};
+use exact_plurality::engine::{RunOptions, RunStatus, SimRng, Simulation};
 use exact_plurality::leader::LeaderElectionRun;
 use exact_plurality::majority::cancel_split::CancelSplitRun;
 use rand::SeedableRng;
@@ -88,8 +88,8 @@ fn subpopulation_clock_rate_orders_by_support() {
     // Three opinions with supports 4:2:1 — hours completed must order the
     // same way.
     let mut opinions = vec![1u16; 4000];
-    opinions.extend(std::iter::repeat(2u16).take(2000));
-    opinions.extend(std::iter::repeat(3u16).take(1000));
+    opinions.extend(std::iter::repeat_n(2u16, 2000));
+    opinions.extend(std::iter::repeat_n(3u16, 1000));
     let n = opinions.len();
     let (proto, states) = SubpopClocks::new(&opinions, 8);
     let mut sim = Simulation::new(proto, states, 17);
@@ -98,5 +98,8 @@ fn subpopulation_clock_rate_orders_by_support() {
     let h2 = sim.protocol().hours_of(2);
     let h3 = sim.protocol().hours_of(3);
     assert!(h1 >= h2 && h2 >= h3, "hours not ordered: {h1} {h2} {h3}");
-    assert!(h1 > h3, "largest opinion must be strictly fastest: {h1} vs {h3}");
+    assert!(
+        h1 > h3,
+        "largest opinion must be strictly fastest: {h1} vs {h3}"
+    );
 }
