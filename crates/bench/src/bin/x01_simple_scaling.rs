@@ -1,117 +1,4 @@
-//! X1 — Theorem 1(1) runtime: `SimpleAlgorithm` converges in O(k·log n).
-//!
-//! Two sweeps on bias-1 inputs: n at fixed k, and k at fixed n. For each
-//! configuration we report the median parallel time; the summary fits
-//! `time ≈ a·k·ln n` and reports the constant and R². The paper's claim
-//! holds if the fit is tight (R² near 1) and the constant stable.
-//!
-//! A USD baseline arm runs on the same inputs through the batched
-//! configuration-space engine (`--engine seq` for the sequential A/B);
-//! with `--full` its grid extends to `n = 10⁸`, far beyond what the
-//! per-agent protocols can reach.
-
-use plurality_bench::{run_trial, run_usd_baseline, Algo, ExpOpts};
-use plurality_core::Tuning;
-use pp_stats::{fit_through_origin, Summary, Table};
-use pp_workloads::Counts;
-
+//! Legacy shim: delegates to the registered `x01` scenario (`xp run x01`).
 fn main() {
-    let opts = ExpOpts::from_args();
-    let (n_grid, k_grid, fixed_k, fixed_n): (Vec<usize>, Vec<usize>, usize, usize) = if opts.full {
-        (
-            vec![1000, 2000, 4000, 8000, 16000],
-            vec![2, 3, 4, 6, 8, 12],
-            3,
-            4000,
-        )
-    } else {
-        (vec![600, 1200, 2400], vec![2, 3, 4, 6], 3, 1200)
-    };
-    let mut table = Table::new(
-        "X1: SimpleAlgorithm parallel time on bias-1 inputs",
-        &[
-            "sweep",
-            "n",
-            "k",
-            "ok",
-            "median",
-            "mean",
-            "ci95",
-            "t/(k·ln n)",
-        ],
-    );
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-
-    let mut measure = |sweep: &str, n: usize, k: usize, stream: u64| {
-        let counts = Counts::bias_one(n, k);
-        let budget = 4.0e3 * k as f64 + 2.0e4;
-        let outcomes = opts.run_trials(stream, |seed| {
-            run_trial(
-                Algo::Simple,
-                &counts,
-                seed,
-                budget,
-                Tuning::default(),
-                false,
-            )
-        });
-        let ok = outcomes.iter().filter(|o| o.correct).count();
-        let times: Vec<f64> = outcomes
-            .iter()
-            .filter(|o| o.converged)
-            .map(|o| o.parallel_time)
-            .collect();
-        if times.is_empty() {
-            eprintln!("  [{sweep}] n={n} k={k}: no convergence!");
-            return;
-        }
-        let s = Summary::of(&times);
-        let x = k as f64 * (n as f64).ln();
-        xs.push(x);
-        ys.push(s.median);
-        table.push(vec![
-            sweep.into(),
-            n.to_string(),
-            k.to_string(),
-            format!("{ok}/{}", outcomes.len()),
-            format!("{:.0}", s.median),
-            format!("{:.0}", s.mean),
-            format!("{:.0}", s.ci95()),
-            format!("{:.1}", s.median / x),
-        ]);
-        eprintln!(
-            "  [{sweep}] n={n} k={k}: median {:.0} (ok {ok}/{})",
-            s.median,
-            outcomes.len()
-        );
-    };
-
-    for (i, &n) in n_grid.iter().enumerate() {
-        measure("n-sweep", n, fixed_k, i as u64);
-    }
-    for (i, &k) in k_grid.iter().enumerate() {
-        measure("k-sweep", fixed_n, k, 100 + i as u64);
-    }
-
-    table.print();
-    let fit = fit_through_origin(&xs, &ys);
-    println!(
-        "fit: time ≈ {:.2} · k·ln n   (R² = {:.4}) — Theorem 1(1) predicts a linear law",
-        fit.a, fit.r2
-    );
-    table
-        .write_csv(opts.csv_path("x01_simple_scaling"))
-        .expect("write csv");
-
-    // Baseline arm: USD on the same bias-1 inputs. Fast but approximate —
-    // the ok column collapsing towards a lottery is the paper's motivation.
-    run_usd_baseline(
-        &opts,
-        n_grid,
-        fixed_k,
-        "X1",
-        "x01_simple_scaling_baseline",
-        200,
-    );
+    plurality_bench::registry::shim_main("x01");
 }

@@ -1,88 +1,4 @@
-//! X2/X6 — State-space usage: `O(k + log n)` for `SimpleAlgorithm`,
-//! `O(k·loglog n + log n)` for `ImprovedAlgorithm`.
-//!
-//! We count the *distinct agent states actually visited* over a full run
-//! (canonical encodings, see `Machine::encode`) across a (k, n) grid. The
-//! paper's claims show up as: the Simple census grows additively in k (slope
-//! ≈ constant per opinion) and logarithmically in n; the Improved census
-//! pays an extra log log n factor on the k term (the per-opinion clock
-//! states) — both far below the `Ω(k²)` bound for always-correct protocols.
-
-use plurality_bench::{run_trial, Algo, ExpOpts};
-use plurality_core::Tuning;
-use pp_stats::Table;
-use pp_workloads::Counts;
-
+//! Legacy shim: delegates to the registered `x02` scenario (`xp run x02`).
 fn main() {
-    let opts = ExpOpts::from_args();
-    let (n_grid, k_grid, fixed_k, fixed_n): (Vec<usize>, Vec<usize>, usize, usize) = if opts.full {
-        (
-            vec![500, 1000, 2000, 4000, 8000],
-            vec![2, 4, 8, 16, 32],
-            4,
-            2000,
-        )
-    } else {
-        (vec![500, 1000, 2000], vec![2, 4, 8], 4, 1000)
-    };
-    let algos = [Algo::Simple, Algo::Improved];
-
-    let mut table = Table::new(
-        "X2/X6: distinct states visited (max over trials)",
-        &[
-            "algo",
-            "sweep",
-            "n",
-            "k",
-            "states",
-            "states/k",
-            "states/ln n",
-            "k^2 (lower bd.)",
-        ],
-    );
-
-    let mut measure = |algo: Algo, sweep: &str, n: usize, k: usize, stream: u64| {
-        let counts = Counts::bias_one(n, k);
-        let budget = 5.0e3 * k as f64 + 3.0e4;
-        let outcomes = opts.run_trials(stream, |seed| {
-            run_trial(algo, &counts, seed, budget, Tuning::default(), true)
-        });
-        let states = outcomes.iter().filter_map(|o| o.census).max().unwrap_or(0);
-        table.push(vec![
-            algo.name().into(),
-            sweep.into(),
-            n.to_string(),
-            k.to_string(),
-            states.to_string(),
-            format!("{:.1}", states as f64 / k as f64),
-            format!("{:.1}", states as f64 / (n as f64).ln()),
-            (k * k).to_string(),
-        ]);
-        eprintln!("  [{} {sweep}] n={n} k={k}: {states} states", algo.name());
-    };
-
-    for algo in algos {
-        for (i, &k) in k_grid.iter().enumerate() {
-            measure(algo, "k-sweep", fixed_n, k, (algo as u64) << 32 | i as u64);
-        }
-        for (i, &n) in n_grid.iter().enumerate() {
-            measure(
-                algo,
-                "n-sweep",
-                n,
-                fixed_k,
-                (algo as u64) << 32 | (100 + i as u64),
-            );
-        }
-    }
-
-    table.print();
-    println!(
-        "Read: the census grows roughly linearly in k and logarithmically in n for both \
-         protocols, with Improved paying an extra loglog-factor on the k term — well below \
-         the always-correct Ω(k²) state bound shown in the last column."
-    );
-    table
-        .write_csv(opts.csv_path("x02_state_census"))
-        .expect("write csv");
+    plurality_bench::registry::shim_main("x02");
 }

@@ -1,86 +1,4 @@
-//! X3 — Exactness at bias 1 (Theorem 1 & 2 correctness).
-//!
-//! The paper's protocols identify the plurality w.h.p. *even at bias 1*.
-//! This experiment plants bias-1 (bias-2 for k = 2 with even n) inputs
-//! across a grid of (n, k) and reports per-protocol success rates with
-//! Wilson 95% intervals.
-//!
-//! Paper prediction: success probability `1 − n^(−Ω(1))` — i.e. rates at or
-//! near 1.0 throughout, improving with n.
-
-use plurality_bench::{run_trial, Algo, ExpOpts};
-use plurality_core::Tuning;
-use pp_stats::{wilson_interval, Table};
-use pp_workloads::Counts;
-
+//! Legacy shim: delegates to the registered `x03` scenario (`xp run x03`).
 fn main() {
-    let opts = ExpOpts::from_args();
-    let grid: Vec<(usize, usize)> = if opts.full {
-        vec![
-            (1001, 2),
-            (2001, 2),
-            (4001, 2),
-            (1000, 4),
-            (2000, 4),
-            (4000, 8),
-            (8001, 2),
-            (8000, 8),
-        ]
-    } else {
-        vec![(601, 2), (1201, 2), (900, 3), (1800, 6)]
-    };
-    let algos = [Algo::Simple, Algo::Unordered, Algo::Improved];
-
-    let mut table = Table::new(
-        "X3: exactness at bias 1 (success rate over trials, Wilson 95%)",
-        &[
-            "algo",
-            "n",
-            "k",
-            "bias",
-            "ok",
-            "trials",
-            "rate",
-            "lo",
-            "hi",
-            "median time",
-        ],
-    );
-
-    for (stream, &(n, k)) in grid.iter().enumerate() {
-        let counts = Counts::bias_one(n, k);
-        let budget = 4.0e3 * k as f64 + 4.0e4;
-        for algo in algos {
-            let outcomes = opts.run_trials((stream as u64) << 8 | algo as u64, |seed| {
-                run_trial(algo, &counts, seed, budget, Tuning::default(), false)
-            });
-            let ok = outcomes.iter().filter(|o| o.correct).count();
-            let (lo, hi) = wilson_interval(ok, outcomes.len(), 1.96);
-            let mut times: Vec<f64> = outcomes.iter().map(|o| o.parallel_time).collect();
-            times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let median = times[times.len() / 2];
-            table.push(vec![
-                algo.name().into(),
-                n.to_string(),
-                k.to_string(),
-                counts.bias().to_string(),
-                ok.to_string(),
-                outcomes.len().to_string(),
-                format!("{:.3}", ok as f64 / outcomes.len() as f64),
-                format!("{lo:.3}"),
-                format!("{hi:.3}"),
-                format!("{median:.0}"),
-            ]);
-            eprintln!(
-                "  [{}] n={n} k={k}: {ok}/{} (median t={median:.0})",
-                algo.name(),
-                outcomes.len()
-            );
-        }
-    }
-
-    table.print();
-    table
-        .write_csv(opts.csv_path("x03_exactness"))
-        .expect("write csv");
+    plurality_bench::registry::shim_main("x03");
 }

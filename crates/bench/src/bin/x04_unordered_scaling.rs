@@ -1,119 +1,4 @@
-//! X4 — Theorem 1(2) runtime: the unordered variant pays an additive
-//! `O(log² n)` for leader election.
-//!
-//! We measure total parallel time and the time spent before `le_done`
-//! (leader election + defender selection) separately. The paper's claim:
-//! total ≈ O(k·log n + log² n). The LE share dominates at small k and
-//! washes out as k grows — exactly the additive structure of the bound.
-//!
-//! A USD baseline arm runs the k-sweep inputs on the batched
-//! configuration-space engine (`--engine seq` for the sequential A/B);
-//! with `--full` it extends to `n = 10⁸`.
-
-use plurality_bench::{run_trial, run_usd_baseline, Algo, ExpOpts};
-use plurality_core::Tuning;
-use pp_stats::{fit_affine, Summary, Table};
-use pp_workloads::Counts;
-
+//! Legacy shim: delegates to the registered `x04` scenario (`xp run x04`).
 fn main() {
-    let opts = ExpOpts::from_args();
-    let (n_grid, k_grid, fixed_k, fixed_n): (Vec<usize>, Vec<usize>, usize, usize) = if opts.full {
-        (vec![1000, 2000, 4000, 8000], vec![2, 3, 4, 6, 8], 3, 2000)
-    } else {
-        (vec![600, 1200, 2400], vec![2, 3, 4], 3, 1200)
-    };
-
-    let mut table = Table::new(
-        "X4: UnorderedAlgorithm parallel time (total and leader-election share)",
-        &[
-            "sweep",
-            "n",
-            "k",
-            "ok",
-            "median total",
-            "median LE",
-            "LE share",
-            "t/(k·lnn + ln²n)",
-        ],
-    );
-    let mut le_xs = Vec::new();
-    let mut le_ys = Vec::new();
-
-    let mut measure = |sweep: &str, n: usize, k: usize, stream: u64| {
-        let counts = Counts::bias_one(n, k);
-        let budget = 5.0e3 * k as f64 + 5.0e4;
-        let outcomes = opts.run_trials(stream, |seed| {
-            run_trial(
-                Algo::Unordered,
-                &counts,
-                seed,
-                budget,
-                Tuning::default(),
-                false,
-            )
-        });
-        let ok = outcomes.iter().filter(|o| o.correct).count();
-        let times: Vec<f64> = outcomes
-            .iter()
-            .filter(|o| o.converged)
-            .map(|o| o.parallel_time)
-            .collect();
-        let le_times: Vec<f64> = outcomes
-            .iter()
-            .filter_map(|o| o.le_done.map(|t| t as f64 / n as f64))
-            .collect();
-        if times.is_empty() || le_times.is_empty() {
-            eprintln!("  [{sweep}] n={n} k={k}: insufficient convergence");
-            return;
-        }
-        let s = Summary::of(&times);
-        let le = Summary::of(&le_times);
-        let ln = (n as f64).ln();
-        let model = k as f64 * ln + ln * ln;
-        le_xs.push(ln * ln);
-        le_ys.push(le.median);
-        table.push(vec![
-            sweep.into(),
-            n.to_string(),
-            k.to_string(),
-            format!("{ok}/{}", outcomes.len()),
-            format!("{:.0}", s.median),
-            format!("{:.0}", le.median),
-            format!("{:.2}", le.median / s.median),
-            format!("{:.1}", s.median / model),
-        ]);
-        eprintln!(
-            "  [{sweep}] n={n} k={k}: total {:.0}, LE {:.0}",
-            s.median, le.median
-        );
-    };
-
-    for (i, &n) in n_grid.iter().enumerate() {
-        measure("n-sweep", n, fixed_k, i as u64);
-    }
-    for (i, &k) in k_grid.iter().enumerate() {
-        measure("k-sweep", fixed_n, k, 100 + i as u64);
-    }
-
-    table.print();
-    let fit = fit_affine(&le_xs, &le_ys);
-    println!(
-        "leader-election time vs ln²n: LE ≈ {:.2}·ln²n + {:.0}   (R² = {:.3}) — the additive \
-         O(log² n) term of Theorem 1(2)",
-        fit.a, fit.b, fit.r2
-    );
-    table
-        .write_csv(opts.csv_path("x04_unordered_scaling"))
-        .expect("write csv");
-
-    // Baseline arm: USD over the same n-sweep (configuration-space engine
-    // reaches 10⁸ agents; the per-agent protocols above stop at 10⁴).
-    run_usd_baseline(
-        &opts,
-        n_grid,
-        fixed_k,
-        "X4",
-        "x04_unordered_scaling_baseline",
-        300,
-    );
+    plurality_bench::registry::shim_main("x04");
 }

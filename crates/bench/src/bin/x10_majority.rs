@@ -1,131 +1,4 @@
-//! X10 — The majority substrates: exactness, speed and the baselines.
-//!
-//! Three protocols on two-opinion inputs:
-//!
-//! * cancel/split (our \[20\] stand-in): exact at bias 1, `O(log n)` time;
-//! * 3-state approximate majority \[4\]: `O(log n)` time but needs bias
-//!   `Ω(√(n·log n))` — watch its success rate climb with the bias;
-//! * 4-state stable exact majority: always correct, but `Θ(n)` time at
-//!   bias 1.
-
-use plurality_bench::ExpOpts;
-use pp_engine::{RunOptions, RunStatus, Simulation};
-use pp_majority::{cancel_split::CancelSplitRun, FourState, ThreeState};
-use pp_stats::{wilson_interval, Summary, Table};
-
+//! Legacy shim: delegates to the registered `x10` scenario (`xp run x10`).
 fn main() {
-    let opts = ExpOpts::from_args();
-
-    // ---- Part A: exactness at bias 1 and time scaling in n. ----
-    let sizes: Vec<usize> = if opts.full {
-        vec![1001, 4001, 16001, 64001]
-    } else {
-        vec![1001, 4001, 16001]
-    };
-    let mut ta = Table::new(
-        "X10a: bias-1 majority across substrates",
-        &[
-            "protocol",
-            "n",
-            "ok",
-            "trials",
-            "rate lo",
-            "median time",
-            "time/ln n",
-        ],
-    );
-    for (i, &n) in sizes.iter().enumerate() {
-        let a = n / 2 + 1;
-        let b = n / 2;
-
-        // cancel/split (window 24: the reliable standalone setting; the
-        // window sweep lives in X14b)
-        let cs = opts.run_trials(i as u64, |seed| {
-            let (proto, states) = CancelSplitRun::new(a, b, 0, 24);
-            let mut sim = Simulation::new(proto, states, seed);
-            let r = sim.run(&RunOptions::with_parallel_time_budget(n, 100_000.0));
-            (r.output == Some(1), r.parallel_time)
-        });
-        push_row(&mut ta, "cancel/split", n, &cs);
-
-        // 3-state approximate
-        let ts = opts.run_trials(500 + i as u64, |seed| {
-            let states = ThreeState::initial_states(a, b);
-            let mut sim = Simulation::new(ThreeState, states, seed);
-            let r = sim.run(&RunOptions::with_parallel_time_budget(n, 100_000.0));
-            (r.output == Some(1), r.parallel_time)
-        });
-        push_row(&mut ta, "3-state", n, &ts);
-
-        // 4-state stable (skip the largest sizes: Θ(n) time at bias 1).
-        if n <= 4001 {
-            let fs = opts.run_trials(900 + i as u64, |seed| {
-                let states = FourState::initial_states(a, b);
-                let mut sim = Simulation::new(FourState, states, seed);
-                let r = sim.run(&RunOptions::with_parallel_time_budget(n, 5.0e6));
-                (
-                    r.status == RunStatus::Converged && r.output == Some(1),
-                    r.parallel_time,
-                )
-            });
-            push_row(&mut ta, "4-state", n, &fs);
-        }
-    }
-    ta.print();
-    ta.write_csv(opts.csv_path("x10a_majority_bias1"))
-        .expect("write csv");
-
-    // ---- Part B: 3-state success rate vs bias (the √(n log n) knee). ----
-    let n = if opts.full { 16000 } else { 4000 };
-    let sqrt_term = ((n as f64) * (n as f64).ln()).sqrt();
-    let mut tb = Table::new(
-        "X10b: 3-state approximate majority — success vs bias",
-        &["n", "bias", "bias/√(n·ln n)", "ok", "trials", "rate"],
-    );
-    for (i, mult) in [0.0, 0.25, 0.5, 1.0, 2.0].into_iter().enumerate() {
-        let bias = ((sqrt_term * mult) as usize).max(1) | 1; // odd, ≥ 1
-        let a = (n + bias) / 2;
-        let b = n - a;
-        let results = opts.run_trials(2000 + i as u64, |seed| {
-            let states = ThreeState::initial_states(a, b);
-            let mut sim = Simulation::new(ThreeState, states, seed);
-            let r = sim.run(&RunOptions::with_parallel_time_budget(n, 100_000.0));
-            r.output == Some(1)
-        });
-        let ok = results.iter().filter(|&&x| x).count();
-        tb.push(vec![
-            n.to_string(),
-            bias.to_string(),
-            format!("{:.2}", bias as f64 / sqrt_term),
-            ok.to_string(),
-            results.len().to_string(),
-            format!("{:.2}", ok as f64 / results.len() as f64),
-        ]);
-        eprintln!("  3-state bias={bias}: {ok}/{}", results.len());
-    }
-    tb.print();
-    println!(
-        "Read: cancel/split is exact at bias 1 in O(log n) time; 3-state needs bias \
-         ≳ √(n·ln n); 4-state is exact but pays Θ(n) time — the trade-off that motivates \
-         the paper's w.h.p. protocols."
-    );
-    tb.write_csv(opts.csv_path("x10b_three_state_bias"))
-        .expect("write csv");
-}
-
-fn push_row(table: &mut Table, name: &str, n: usize, results: &[(bool, f64)]) {
-    let ok = results.iter().filter(|r| r.0).count();
-    let times: Vec<f64> = results.iter().map(|r| r.1).collect();
-    let (lo, _) = wilson_interval(ok, results.len(), 1.96);
-    let median = Summary::of(&times).median;
-    table.push(vec![
-        name.into(),
-        n.to_string(),
-        ok.to_string(),
-        results.len().to_string(),
-        format!("{lo:.3}"),
-        format!("{median:.0}"),
-        format!("{:.1}", median / (n as f64).ln()),
-    ]);
-    eprintln!("  {name} n={n}: {ok}/{} median {median:.0}", results.len());
+    plurality_bench::registry::shim_main("x10");
 }

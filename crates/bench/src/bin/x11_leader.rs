@@ -1,60 +1,4 @@
-//! X11 — Leader election: uniqueness w.h.p. and `O(log² n)` time.
-//!
-//! Measures, per population size: the fraction of runs electing exactly
-//! one leader, the median completion time, and the ratio time/log² n
-//! (stable ratio = the Theorem 1(2) substitution bound holds).
-
-use plurality_bench::ExpOpts;
-use pp_engine::{RunOptions, RunStatus, SimRng, Simulation};
-use pp_leader::LeaderElectionRun;
-use pp_stats::{Summary, Table};
-use rand::SeedableRng;
-
+//! Legacy shim: delegates to the registered `x11` scenario (`xp run x11`).
 fn main() {
-    let opts = ExpOpts::from_args();
-    let sizes: Vec<usize> = if opts.full {
-        vec![1000, 2000, 4000, 8000, 16000, 32000]
-    } else {
-        vec![1000, 4000, 16000]
-    };
-
-    let mut table = Table::new(
-        "X11: leader election (junta-clock coin lottery)",
-        &["n", "unique", "trials", "median time", "time/log2²n"],
-    );
-
-    for (i, &n) in sizes.iter().enumerate() {
-        let results = opts.run_trials(i as u64, |seed| {
-            let mut rng = SimRng::seed_from_u64(seed ^ 0x5eed);
-            let (proto, states) = LeaderElectionRun::new(n, 4, &mut rng);
-            let mut sim = Simulation::new(proto, states, seed);
-            let r = sim.run(&RunOptions::with_parallel_time_budget(n, 500_000.0));
-            (
-                r.status == RunStatus::Converged && r.output == Some(1),
-                r.parallel_time,
-            )
-        });
-        let unique = results.iter().filter(|r| r.0).count();
-        let times: Vec<f64> = results.iter().map(|r| r.1).collect();
-        let s = Summary::of(&times);
-        let log2n = (n as f64).log2();
-        table.push(vec![
-            n.to_string(),
-            format!("{unique}/{}", results.len()),
-            results.len().to_string(),
-            format!("{:.0}", s.median),
-            format!("{:.2}", s.median / (log2n * log2n)),
-        ]);
-        eprintln!(
-            "  n={n}: unique {unique}/{}, median {:.0}",
-            results.len(),
-            s.median
-        );
-    }
-
-    table.print();
-    println!("Read: exactly one leader in (nearly) every run; time/log²n is ~constant.");
-    table
-        .write_csv(opts.csv_path("x11_leader"))
-        .expect("write csv");
+    plurality_bench::registry::shim_main("x11");
 }

@@ -1,118 +1,4 @@
-//! X13 — The paper's motivation: exact vs approximate plurality.
-//!
-//! Undecided-state dynamics reaches consensus fast but picks the planted
-//! plurality only when the bias is large (≈ √(n·log n) for k = 2 —
-//! at bias 1 it is a support-weighted lottery). `SimpleAlgorithm` pays a
-//! `O(k·log n)` running time and stays correct all the way down to bias 1.
-//!
-//! The USD arm runs on the batched configuration-space engine by default
-//! (`--engine seq` restores the seed's per-agent scheduler); with `--full`
-//! extra USD-only rows extend the population to `n = 10⁸`, where the
-//! lottery behaviour at bias 1 is starkest.
-
-use plurality_bench::{run_trial, run_usd_trial, Algo, Engine, ExpOpts};
-use plurality_core::Tuning;
-use pp_stats::Table;
-use pp_workloads::Counts;
-
+//! Legacy shim: delegates to the registered `x13` scenario (`xp run x13`).
 fn main() {
-    let opts = ExpOpts::from_args();
-    let (n, k): (usize, usize) = if opts.full { (4001, 3) } else { (1201, 3) };
-    let sqrt_term = ((n as f64) * (n as f64).ln()).sqrt();
-    let biases: Vec<usize> = [1.0, 0.1 * sqrt_term, 0.5 * sqrt_term, 1.5 * sqrt_term]
-        .into_iter()
-        .map(|b| (b as usize).max(1))
-        .collect();
-
-    let mut table = Table::new(
-        "X13: USD vs SimpleAlgorithm across the bias range",
-        &[
-            "n",
-            "k",
-            "bias",
-            "bias/√(n·ln n)",
-            "usd ok",
-            "usd med time",
-            "simple ok",
-            "simple med time",
-        ],
-    );
-
-    for (i, &bias) in biases.iter().enumerate() {
-        let counts = Counts::adversarial_bias(n, k, bias);
-        let actual_bias = counts.bias();
-
-        let usd = opts.run_trials(i as u64, |seed| {
-            let o = run_usd_trial(opts.engine, &counts, seed, 100_000.0);
-            (o.correct, o.parallel_time)
-        });
-        let simple = opts.run_trials(100 + i as u64, |seed| {
-            let o = run_trial(Algo::Simple, &counts, seed, 1.0e5, Tuning::default(), false);
-            (o.correct, o.parallel_time)
-        });
-
-        let usd_ok = usd.iter().filter(|r| r.0).count();
-        let simple_ok = simple.iter().filter(|r| r.0).count();
-        let med = |rs: &[(bool, f64)]| {
-            let mut t: Vec<f64> = rs.iter().map(|r| r.1).collect();
-            t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            t[t.len() / 2]
-        };
-        table.push(vec![
-            n.to_string(),
-            k.to_string(),
-            actual_bias.to_string(),
-            format!("{:.2}", actual_bias as f64 / sqrt_term),
-            format!("{usd_ok}/{}", usd.len()),
-            format!("{:.0}", med(&usd)),
-            format!("{simple_ok}/{}", simple.len()),
-            format!("{:.0}", med(&simple)),
-        ]);
-        eprintln!(
-            "  bias={actual_bias}: usd {usd_ok}/{}, simple {simple_ok}/{}",
-            usd.len(),
-            simple.len()
-        );
-    }
-
-    // Large-population USD-only rows: the configuration-space engine takes
-    // the same bias-1 lottery to 10⁸ agents (SimpleAlgorithm columns stay
-    // empty — the per-agent protocol does not scale there).
-    if opts.full && opts.engine == Engine::Batch {
-        for (i, big_n) in [1_000_000usize, 100_000_000].into_iter().enumerate() {
-            let counts = Counts::adversarial_bias(big_n, k, 1);
-            let big_sqrt = ((big_n as f64) * (big_n as f64).ln()).sqrt();
-            let usd = opts.run_trials(500 + i as u64, |seed| {
-                let o = run_usd_trial(opts.engine, &counts, seed, 100_000.0);
-                (o.correct, o.parallel_time)
-            });
-            let usd_ok = usd.iter().filter(|r| r.0).count();
-            let mut t: Vec<f64> = usd.iter().map(|r| r.1).collect();
-            t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            table.push(vec![
-                big_n.to_string(),
-                k.to_string(),
-                counts.bias().to_string(),
-                format!("{:.5}", counts.bias() as f64 / big_sqrt),
-                format!("{usd_ok}/{}", usd.len()),
-                format!("{:.0}", t[t.len() / 2]),
-                "—".into(),
-                "—".into(),
-            ]);
-            eprintln!(
-                "  n={big_n} bias={}: usd {usd_ok}/{}",
-                counts.bias(),
-                usd.len()
-            );
-        }
-    }
-
-    table.print();
-    println!(
-        "Read: USD is fast but fails towards small bias; SimpleAlgorithm holds its success \
-         rate at every bias — the 'small chance of failure' buys exactness, not sloppiness."
-    );
-    table
-        .write_csv(opts.csv_path("x13_usd_comparison"))
-        .expect("write csv");
+    plurality_bench::registry::shim_main("x13");
 }

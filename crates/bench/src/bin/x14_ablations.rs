@@ -1,108 +1,4 @@
-//! X14 — Ablations: where is the reliability knee?
-//!
-//! The paper fixes constants only as "sufficiently large". This experiment
-//! scales the tuning constants (phase lengths + leader patience) down and
-//! up around the defaults, and separately sweeps the match window, showing
-//! where correctness collapses. Failing configurations must fail
-//! *gracefully* (wrong output or timeout — the budget column — never a
-//! panic).
-
-use plurality_bench::{run_trial, Algo, ExpOpts};
-use plurality_core::Tuning;
-use pp_stats::Table;
-use pp_workloads::Counts;
-
+//! Legacy shim: delegates to the registered `x14` scenario (`xp run x14`).
 fn main() {
-    let opts = ExpOpts::from_args();
-    let n = if opts.full { 2001 } else { 1201 };
-    let k = 3;
-    let counts = Counts::bias_one(n, k);
-    let budget = 3.0e5;
-
-    // ---- Sweep A: global phase-length scale. ----
-    let mut ta = Table::new(
-        "X14a: scaling all phase lengths by f (SimpleAlgorithm, bias 1)",
-        &["f", "ok", "trials", "timeouts", "median time"],
-    );
-    for (i, f) in [0.25, 0.5, 0.75, 1.0, 1.5].into_iter().enumerate() {
-        let tuning = Tuning::default().scaled(f);
-        let rs = opts.run_trials(i as u64, |seed| {
-            run_trial(Algo::Simple, &counts, seed, budget, tuning, false)
-        });
-        let ok = rs.iter().filter(|o| o.correct).count();
-        let timeouts = rs.iter().filter(|o| !o.converged).count();
-        let mut t: Vec<f64> = rs.iter().map(|o| o.parallel_time).collect();
-        t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        ta.push(vec![
-            format!("{f:.2}"),
-            ok.to_string(),
-            rs.len().to_string(),
-            timeouts.to_string(),
-            format!("{:.0}", t[t.len() / 2]),
-        ]);
-        eprintln!("  scale {f}: {ok}/{}", rs.len());
-    }
-    ta.print();
-    ta.write_csv(opts.csv_path("x14a_phase_scale"))
-        .expect("write csv");
-
-    // ---- Sweep B: match window. ----
-    let mut tb = Table::new(
-        "X14b: cancel/split window of the match majority (SimpleAlgorithm, bias 1)",
-        &["window", "ok", "trials", "median time"],
-    );
-    for (i, window) in [2u32, 4, 6, 10, 16].into_iter().enumerate() {
-        let tuning = Tuning {
-            match_window: window,
-            ..Tuning::default()
-        };
-        let rs = opts.run_trials(100 + i as u64, |seed| {
-            run_trial(Algo::Simple, &counts, seed, budget, tuning, false)
-        });
-        let ok = rs.iter().filter(|o| o.correct).count();
-        let mut t: Vec<f64> = rs.iter().map(|o| o.parallel_time).collect();
-        t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        tb.push(vec![
-            window.to_string(),
-            ok.to_string(),
-            rs.len().to_string(),
-            format!("{:.0}", t[t.len() / 2]),
-        ]);
-        eprintln!("  window {window}: {ok}/{}", rs.len());
-    }
-    tb.print();
-    tb.write_csv(opts.csv_path("x14b_match_window"))
-        .expect("write csv");
-
-    // ---- Sweep C: merge cap (token capacity). ----
-    let mut tc = Table::new(
-        "X14c: token merge cap (SimpleAlgorithm, bias 1)",
-        &["cap", "ok", "trials", "median time"],
-    );
-    for (i, cap) in [2u8, 4, 10, 20].into_iter().enumerate() {
-        let tuning = Tuning {
-            merge_cap: cap,
-            ..Tuning::default()
-        };
-        let rs = opts.run_trials(200 + i as u64, |seed| {
-            run_trial(Algo::Simple, &counts, seed, budget, tuning, false)
-        });
-        let ok = rs.iter().filter(|o| o.correct).count();
-        let mut t: Vec<f64> = rs.iter().map(|o| o.parallel_time).collect();
-        t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        tc.push(vec![
-            cap.to_string(),
-            ok.to_string(),
-            rs.len().to_string(),
-            format!("{:.0}", t[t.len() / 2]),
-        ]);
-        eprintln!("  cap {cap}: {ok}/{}", rs.len());
-    }
-    tc.print();
-    println!(
-        "Read: defaults sit right of the knee in every sweep; halving the phase budget or \
-         the match window degrades correctness smoothly (never catastrophically)."
-    );
-    tc.write_csv(opts.csv_path("x14c_merge_cap"))
-        .expect("write csv");
+    plurality_bench::registry::shim_main("x14");
 }

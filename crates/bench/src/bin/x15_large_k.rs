@@ -1,83 +1,4 @@
-//! X15 — Appendix C: `SimpleAlgorithm` beyond `k ≤ n/40`.
-//!
-//! The theorem's base analysis assumes `k ≤ n/40`; Appendix C extends the
-//! protocol to `k ≤ (1 − ε)·n` by slowing the init-counter decrement (the
-//! `1/c` rule) so a clock agent finishes counting even when a large
-//! constant fraction of the population remains collectors. We sweep k up to
-//! n/2.5 and compare the base tuning against `Tuning::large_k()`.
-//!
-//! Note the time: with `x_max ≈ n/k` tiny, the protocol runs all `k − 1`
-//! tournaments — runtime grows linearly in k, exactly as Theorem 1 says.
-
-use plurality_bench::{run_trial, Algo, ExpOpts};
-use plurality_core::Tuning;
-use pp_stats::Table;
-use pp_workloads::Counts;
-
+//! Legacy shim: delegates to the registered `x15` scenario (`xp run x15`).
 fn main() {
-    let opts = ExpOpts::from_args();
-    let n = if opts.full { 1500 } else { 1000 };
-    let ks: Vec<usize> = if opts.full {
-        vec![n / 40, n / 10, n / 5, (n as f64 / 2.5) as usize]
-    } else {
-        vec![n / 40, n / 10, n / 5]
-    };
-
-    let mut table = Table::new(
-        "X15: SimpleAlgorithm at large k (Appendix C decrement rule)",
-        &[
-            "n",
-            "k",
-            "tuning",
-            "ok",
-            "trials",
-            "median time",
-            "time/(k·ln n)",
-        ],
-    );
-
-    for (i, &k) in ks.iter().enumerate() {
-        let counts = Counts::bias_one(n, k);
-        let budget = 2.0e3 * k as f64 + 5.0e4;
-        for (j, (name, tuning)) in [("base", Tuning::default()), ("large_k", Tuning::large_k())]
-            .into_iter()
-            .enumerate()
-        {
-            let rs = opts.run_trials((i as u64) << 4 | j as u64, |seed| {
-                run_trial(Algo::Simple, &counts, seed, budget, tuning, false)
-            });
-            let ok = rs.iter().filter(|o| o.correct).count();
-            let mut t: Vec<f64> = rs
-                .iter()
-                .filter(|o| o.converged)
-                .map(|o| o.parallel_time)
-                .collect();
-            t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let median = if t.is_empty() {
-                f64::NAN
-            } else {
-                t[t.len() / 2]
-            };
-            table.push(vec![
-                n.to_string(),
-                k.to_string(),
-                name.into(),
-                format!("{ok}/{}", rs.len()),
-                rs.len().to_string(),
-                format!("{median:.0}"),
-                format!("{:.1}", median / (k as f64 * (n as f64).ln())),
-            ]);
-            eprintln!("  k={k} [{name}]: {ok}/{} median {median:.0}", rs.len());
-        }
-    }
-
-    table.print();
-    println!(
-        "Read: the base tuning carries k = n/5 with k-linear time; the Appendix C decrement \
-         rule ends the init earlier, thins every worker role, and only pays off in its \
-         asymptotic target regime (collectors above n/2 forever), infeasible under n >= 2k."
-    );
-    table
-        .write_csv(opts.csv_path("x15_large_k"))
-        .expect("write csv");
+    plurality_bench::registry::shim_main("x15");
 }

@@ -1,4 +1,10 @@
-//! CLI options and trial execution for experiment binaries.
+//! CLI options and trial execution for the experiment driver.
+//!
+//! All experiment entry points — the `xp` driver and the legacy per-
+//! experiment shims — share one flag grammar, parsed by [`parse_args`]
+//! into an [`ExpOpts`] plus positional arguments. Parsing never panics:
+//! malformed input yields a [`CliError`] which the binaries report with
+//! the [`USAGE`] dump and exit code 2.
 
 use std::path::PathBuf;
 
@@ -7,13 +13,17 @@ use pp_engine::ensemble;
 /// Which simulation engine an experiment's table-protocol arms run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// The sequential per-agent scheduler (`pp_engine::Simulation`).
+    /// The sequential per-agent scheduler (`pp_engine::Simulation`), via
+    /// `pp_engine::SeqTable` — the A/B reference, capped at moderate `n`.
     Seq,
     /// The batched configuration-space engine
     /// (`pp_engine::BatchSimulation`) — the default: it is the only way to
     /// reach the `n = 10⁸` grids.
     #[default]
     Batch,
+    /// The per-pair batched engine (`pp_engine::PairwiseBatchSimulation`),
+    /// a second batched reference for engine A/B/C runs.
+    Pairwise,
 }
 
 impl Engine {
@@ -22,15 +32,48 @@ impl Engine {
         match self {
             Engine::Seq => "seq",
             Engine::Batch => "batch",
+            Engine::Pairwise => "pairwise",
+        }
+    }
+
+    /// Parse the CLI spelling.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "seq" => Ok(Engine::Seq),
+            "batch" => Ok(Engine::Batch),
+            "pairwise" => Ok(Engine::Pairwise),
+            other => Err(CliError(format!(
+                "--engine must be 'seq', 'batch' or 'pairwise', got '{other}'"
+            ))),
         }
     }
 }
 
+/// A CLI parsing failure (unknown flag, missing or malformed value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage dump shared by every experiment binary.
+pub const USAGE: &str = "\
+Common experiment flags:
+  --trials N                 trials per configuration (default 10)
+  --seed S                   base seed; trial i derives its own stream
+  --full                     run the larger (slower) grid
+  --out DIR                  output directory for CSV + manifest (default results/)
+  --threads T                worker threads (default: all cores)
+  --engine {seq,batch,pairwise}
+                             engine for table-protocol arms (default batch)
+  --help                     print this help";
+
 /// Options shared by all experiment binaries.
-///
-/// Flags: `--trials N`, `--seed S`, `--full` (larger grids), `--out DIR`,
-/// `--threads T`, `--engine {seq,batch}` (A/B the engines on baseline
-/// arms).
 #[derive(Debug, Clone)]
 pub struct ExpOpts {
     /// Trials per configuration.
@@ -39,11 +82,11 @@ pub struct ExpOpts {
     pub seed: u64,
     /// Run the larger (slower) grid.
     pub full: bool,
-    /// Output directory for CSV files.
+    /// Output directory for CSV files and run manifests.
     pub out_dir: PathBuf,
     /// Worker threads.
     pub threads: usize,
-    /// Engine for table-protocol (baseline) arms.
+    /// Engine for table-protocol arms.
     pub engine: Engine,
 }
 
@@ -60,40 +103,67 @@ impl Default for ExpOpts {
     }
 }
 
-impl ExpOpts {
-    /// Parse from `std::env::args()`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed flags.
-    pub fn from_args() -> Self {
-        let mut opts = Self::default();
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            let mut take = |name: &str| {
-                args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
-            };
-            match arg.as_str() {
-                "--trials" => opts.trials = take("--trials").parse().expect("--trials N"),
-                "--seed" => opts.seed = take("--seed").parse().expect("--seed S"),
-                "--full" => opts.full = true,
-                "--out" => opts.out_dir = PathBuf::from(take("--out")),
-                "--threads" => opts.threads = take("--threads").parse().expect("--threads T"),
-                "--engine" => {
-                    opts.engine = match take("--engine").as_str() {
-                        "seq" => Engine::Seq,
-                        "batch" => Engine::Batch,
-                        other => panic!("--engine must be 'seq' or 'batch', got '{other}'"),
-                    }
-                }
-                other => panic!(
-                    "unknown flag {other}; known: --trials N --seed S --full --out DIR \
-                     --threads T --engine {{seq,batch}}"
-                ),
-            }
+/// Parse an argument list into options plus positional (non-flag)
+/// arguments, without touching the process environment — the unit-testable
+/// core of every binary's CLI.
+///
+/// A `--help` anywhere yields `CliError("help")`, which callers special-
+/// case to print usage and exit 0.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] naming the offending flag or value.
+pub fn parse_args<I>(args: I) -> Result<(ExpOpts, Vec<String>), CliError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut opts = ExpOpts::default();
+    let mut positional = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .ok_or_else(|| CliError(format!("{name} requires a value")))
+        };
+        fn parse_num<T: std::str::FromStr>(name: &str, v: String) -> Result<T, CliError> {
+            v.parse()
+                .map_err(|_| CliError(format!("{name} expects a number, got '{v}'")))
         }
-        opts
+        match arg.as_str() {
+            "--help" | "-h" => return Err(CliError("help".into())),
+            "--trials" => opts.trials = parse_num("--trials", take("--trials")?)?,
+            "--seed" => opts.seed = parse_num("--seed", take("--seed")?)?,
+            "--full" => opts.full = true,
+            "--out" => opts.out_dir = PathBuf::from(take("--out")?),
+            "--threads" => opts.threads = parse_num("--threads", take("--threads")?)?,
+            "--engine" => opts.engine = Engine::parse(&take("--engine")?)?,
+            other if other.starts_with('-') => {
+                return Err(CliError(format!("unknown flag {other}")));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if opts.trials == 0 {
+        return Err(CliError("--trials must be at least 1".into()));
+    }
+    if opts.threads == 0 {
+        return Err(CliError("--threads must be at least 1".into()));
+    }
+    Ok((opts, positional))
+}
+
+impl ExpOpts {
+    /// Parse from `std::env::args()`, for binaries taking flags only.
+    ///
+    /// On malformed input: prints the error and [`USAGE`] to stderr and
+    /// exits with code 2 (no panic, no backtrace). On `--help`: prints
+    /// usage to stdout and exits 0.
+    pub fn from_args() -> Self {
+        match parse_args(std::env::args().skip(1)) {
+            Ok((opts, positional)) if positional.is_empty() => opts,
+            Ok((_, positional)) => exit_usage(&format!("unexpected argument '{}'", positional[0])),
+            Err(e) => handle_cli_error(&e),
+        }
     }
 
     /// Run `trials` independent trials in parallel; `f` receives the
@@ -111,9 +181,28 @@ impl ExpOpts {
     }
 }
 
+/// Resolve a [`CliError`]: `--help` prints usage and exits 0, anything
+/// else prints the error plus usage and exits 2.
+pub(crate) fn handle_cli_error(e: &CliError) -> ! {
+    if e.0 == "help" {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    exit_usage(&e.0)
+}
+
+pub(crate) fn exit_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
 
     #[test]
     fn defaults_are_sane() {
@@ -121,6 +210,49 @@ mod tests {
         assert!(o.trials > 0);
         assert!(o.threads >= 1);
         assert!(!o.full);
+    }
+
+    type OptsCheck = fn(&ExpOpts, &[String]) -> bool;
+
+    #[test]
+    fn parse_args_table() {
+        // (argv, expected outcome)
+        let ok_cases: &[(&[&str], OptsCheck)] = &[
+            (&[], |o, p| o.trials == 10 && p.is_empty()),
+            (&["--trials", "3"], |o, _| o.trials == 3),
+            (&["--seed", "42", "--full"], |o, _| o.seed == 42 && o.full),
+            (&["--engine", "seq"], |o, _| o.engine == Engine::Seq),
+            (&["--engine", "batch"], |o, _| o.engine == Engine::Batch),
+            (&["--engine", "pairwise"], |o, _| {
+                o.engine == Engine::Pairwise
+            }),
+            (&["--out", "/tmp/x"], |o, _| {
+                o.out_dir == std::path::Path::new("/tmp/x")
+            }),
+            (&["run", "x01", "--trials", "2"], |o, p| {
+                o.trials == 2 && p == ["run".to_string(), "x01".to_string()]
+            }),
+        ];
+        for (args, check) in ok_cases {
+            let (opts, positional) =
+                parse_args(argv(args)).unwrap_or_else(|e| panic!("{args:?}: {e}"));
+            assert!(check(&opts, &positional), "{args:?}");
+        }
+
+        let err_cases: &[(&[&str], &str)] = &[
+            (&["--trials"], "--trials requires a value"),
+            (&["--trials", "abc"], "--trials expects a number, got 'abc'"),
+            (&["--trials", "0"], "--trials must be at least 1"),
+            (&["--threads", "0"], "--threads must be at least 1"),
+            (&["--engine", "warp"], "'warp'"),
+            (&["--bogus"], "unknown flag --bogus"),
+            (&["--help"], "help"),
+            (&["-h"], "help"),
+        ];
+        for (args, want) in err_cases {
+            let err = parse_args(argv(args)).expect_err(&format!("{args:?} should fail"));
+            assert!(err.0.contains(want), "{args:?}: got '{}'", err.0);
+        }
     }
 
     #[test]

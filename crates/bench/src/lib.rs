@@ -1,14 +1,53 @@
-//! Shared experiment-harness utilities.
+//! The experiment layer: a declarative scenario API plus the `xp` driver.
 //!
-//! Every experiment binary (`x01`–`x15`) uses this crate for CLI options,
-//! parallel trial execution and result recording. Experiments print the
-//! table they regenerate (the rows recorded in `EXPERIMENTS.md`) and write
-//! the same rows as CSV under `results/`.
+//! The paper's evaluation is a matrix of protocols × workloads × engines.
+//! This crate expresses it as *data*:
+//!
+//! * [`arm`] — engine-erased protocol arms ([`arm::ErasedArm`]): paper
+//!   protocols on the sequential engine, table protocols on any of the
+//!   three engines (`--engine {seq,batch,pairwise}`), bespoke closures —
+//!   all sharing seed derivation, ensemble threading and census handling;
+//! * [`scenario`] — [`scenario::Scenario`] (a registered experiment) and
+//!   [`scenario::Study`] (a declarative grid × arms × columns runner);
+//! * [`sink`] — CSV emission plus a JSON run manifest (seed, grid flavour,
+//!   engine, git revision, wall time, per-table schemas) for every run;
+//! * [`registry`] — the scenario table behind `xp list` / `xp run` /
+//!   `xp all` and the legacy `x01_…`–`x16_…` shim binaries;
+//! * [`harness`] — the shared CLI ([`ExpOpts`], [`parse_args`]) and
+//!   trial-ensemble execution.
+//!
+//! # Running experiments
+//!
+//! ```text
+//! xp list                      # what is registered
+//! xp run x01 --full            # one scenario, full grid
+//! xp run x03 x13 --trials 50   # several scenarios
+//! xp all --filter usd          # every scenario whose name matches
+//! ```
+//!
+//! The legacy binaries (`x01_simple_scaling`, …) still exist as shims
+//! delegating into the registry, so `cargo run --bin x01_simple_scaling`
+//! and `xp run x01` produce identical rows for the same seed.
+//!
+//! # Adding a scenario
+//!
+//! Write `scenarios/xNN.rs` exposing a `SCENARIO` constant whose body is
+//! (typically) one [`scenario::Study`] — grid points from named
+//! [`pp_workloads::Workload`]s, arms from [`arm`], output schema from
+//! [`scenario::col`] — then add it to the array in `registry.rs`. See
+//! `scenarios/x17.rs` for the template; the definition is under twenty
+//! lines and `xp run xNN` works immediately, manifest included.
 
-pub mod baseline;
+pub mod arm;
 pub mod harness;
 pub mod protocols;
+pub mod registry;
+pub mod scenario;
+pub mod scenarios;
+pub mod sink;
 
-pub use baseline::run_usd_baseline;
-pub use harness::{Engine, ExpOpts};
-pub use protocols::{run_trial, run_usd_trial, Algo, TrialOutcome};
+pub use arm::{Arm, ErasedArm, TrialSpec};
+pub use harness::{parse_args, CliError, Engine, ExpOpts, USAGE};
+pub use protocols::{median_parallel_time, run_trial, Algo, TrialOutcome};
+pub use scenario::{col, Ctx, GridPoint, PointRun, Scenario, Study};
+pub use sink::Sink;

@@ -1,12 +1,10 @@
-//! Uniform driver for the three plurality protocols and the USD baseline
-//! arm (and shared outcome bookkeeping).
+//! Uniform driver for the three plurality protocols (and shared outcome
+//! bookkeeping). Engine-erased arms — including the USD baseline — live
+//! in [`crate::arm`].
 
 use plurality_core::{ImprovedAlgorithm, SimpleAlgorithm, Tuning, UnorderedAlgorithm};
-use pp_baselines::{Usd, UsdTable};
-use pp_engine::{BatchSimulation, Census, RunOptions, RunStatus, Simulation};
+use pp_engine::{Census, RunOptions, RunStatus, Simulation};
 use pp_workloads::Counts;
-
-use crate::harness::Engine;
 
 /// Which protocol to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +43,19 @@ pub struct TrialOutcome {
     pub le_done: Option<u64>,
     /// Distinct states visited (only when census tracking was requested).
     pub census: Option<usize>,
+}
+
+/// Upper median of the parallel times over *all* trials (budget-capped
+/// included) — the convention the experiment tables use for mixed
+/// converged/exhausted samples.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median_parallel_time(outcomes: &[TrialOutcome]) -> f64 {
+    let mut t: Vec<f64> = outcomes.iter().map(|o| o.parallel_time).collect();
+    t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    t[t.len() / 2]
 }
 
 /// Run one trial of `algo` on `counts` with the given seed, parallel-time
@@ -90,37 +101,6 @@ pub fn run_trial(
         Algo::Simple => drive!(SimpleAlgorithm::new),
         Algo::Unordered => drive!(UnorderedAlgorithm::new),
         Algo::Improved => drive!(ImprovedAlgorithm::new),
-    }
-}
-
-/// Run one trial of the USD baseline on the chosen engine.
-///
-/// The batched engine works on the configuration directly (no per-agent
-/// state is ever materialised), which is what makes the `n = 10⁸` baseline
-/// grids feasible; the sequential engine is the A/B reference
-/// (`--engine seq`).
-pub fn run_usd_trial(engine: Engine, counts: &Counts, seed: u64, budget: f64) -> TrialOutcome {
-    let n = counts.n();
-    let expected = u32::from(counts.plurality());
-    let opts = RunOptions::with_parallel_time_budget(n, budget);
-    let result = match engine {
-        Engine::Batch => {
-            let table = UsdTable::new(counts.k());
-            let init = table.initial_counts(counts.supports());
-            BatchSimulation::new(table, init, seed).run(&opts)
-        }
-        Engine::Seq => {
-            let states = Usd::initial_states(counts.assignment().opinions());
-            Simulation::new(Usd, states, seed).run(&opts)
-        }
-    };
-    TrialOutcome {
-        converged: result.status == RunStatus::Converged,
-        correct: result.is_correct(expected),
-        parallel_time: result.parallel_time,
-        init_end: None,
-        le_done: None,
-        census: None,
     }
 }
 

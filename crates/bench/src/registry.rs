@@ -1,0 +1,160 @@
+//! The experiment registry: every scenario the `xp` driver can run.
+//!
+//! Scenarios register here by adding their `SCENARIO` constant to
+//! [`SCENARIOS`]; `xp list`, `xp run` and `xp all` all read this one
+//! table, as do the legacy per-experiment shim binaries
+//! ([`shim_main`]).
+
+use std::io;
+use std::path::PathBuf;
+
+use crate::harness::{self, ExpOpts};
+use crate::scenario::{Ctx, Scenario};
+use crate::scenarios;
+use crate::sink::Sink;
+
+/// All registered scenarios, in run order.
+static SCENARIOS: [Scenario; 16] = [
+    scenarios::x01::SCENARIO,
+    scenarios::x02::SCENARIO,
+    scenarios::x03::SCENARIO,
+    scenarios::x04::SCENARIO,
+    scenarios::x05::SCENARIO,
+    scenarios::x07::SCENARIO,
+    scenarios::x08::SCENARIO,
+    scenarios::x09::SCENARIO,
+    scenarios::x10::SCENARIO,
+    scenarios::x11::SCENARIO,
+    scenarios::x12::SCENARIO,
+    scenarios::x13::SCENARIO,
+    scenarios::x14::SCENARIO,
+    scenarios::x15::SCENARIO,
+    scenarios::x16::SCENARIO,
+    scenarios::x17::SCENARIO,
+];
+
+/// The registered scenarios.
+pub fn scenarios() -> &'static [Scenario] {
+    &SCENARIOS
+}
+
+/// Look a scenario up by short name (`x01`) or slug
+/// (`x01_simple_scaling`).
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    SCENARIOS.iter().find(|s| s.name == name || s.slug == name)
+}
+
+/// One formatted line per scenario, as printed by `xp list`.
+pub fn list_lines() -> Vec<String> {
+    SCENARIOS
+        .iter()
+        .map(|s| format!("{:<5} {:<24} {}", s.name, s.slug, s.about))
+        .collect()
+}
+
+/// Run one scenario end to end: execute the body, then write the run
+/// manifest. Returns the manifest path.
+///
+/// # Errors
+///
+/// Propagates I/O failures and output-schema mismatches.
+pub fn run(scenario: &Scenario, opts: &ExpOpts) -> io::Result<PathBuf> {
+    run_with(scenario, opts, true)
+}
+
+/// Like [`run`], but with console tables suppressed — for tests.
+///
+/// # Errors
+///
+/// Propagates I/O failures and output-schema mismatches.
+pub fn run_quiet(scenario: &Scenario, opts: &ExpOpts) -> io::Result<PathBuf> {
+    run_with(scenario, opts, false)
+}
+
+fn run_with(scenario: &Scenario, opts: &ExpOpts, verbose: bool) -> io::Result<PathBuf> {
+    let mut sink = Sink::new(scenario.name, opts);
+    sink.verbose = verbose;
+    {
+        let mut ctx = Ctx {
+            opts,
+            sink: &mut sink,
+        };
+        (scenario.run)(&mut ctx)?;
+    }
+    sink.finish(scenario.outputs)
+}
+
+/// Entry point for the legacy per-experiment binaries: parse the common
+/// flags from `std::env::args()` and run the named scenario. Exits 2 on
+/// CLI errors (with usage), 1 on runtime failures.
+pub fn shim_main(name: &str) {
+    let scenario = find(name).unwrap_or_else(|| {
+        eprintln!("error: scenario '{name}' is not registered");
+        std::process::exit(1);
+    });
+    let opts = ExpOpts::from_args();
+    if let Err(e) = run(scenario, &opts) {
+        eprintln!("error: {}: {e}", scenario.slug);
+        std::process::exit(1);
+    }
+}
+
+/// Report a CLI failure with usage and exit (2, or 0 for `--help`).
+pub fn cli_exit(e: &harness::CliError) -> ! {
+    harness::handle_cli_error(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        // The acceptance contract: 16 scenarios, unique names/slugs, each
+        // findable under both handles, list output naming all of them.
+        assert_eq!(scenarios().len(), 16);
+        let mut names: Vec<&str> = scenarios().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16, "duplicate scenario names");
+        let lines = list_lines();
+        for s in scenarios() {
+            assert!(std::ptr::eq(find(s.name).expect("find by name"), s));
+            assert!(std::ptr::eq(find(s.slug).expect("find by slug"), s));
+            assert!(!s.outputs.is_empty(), "{} declares no outputs", s.name);
+            assert!(!s.about.is_empty());
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.contains(s.name) && l.contains(s.slug)),
+                "{} missing from xp list",
+                s.name
+            );
+        }
+        assert!(find("x99").is_none());
+    }
+
+    #[test]
+    fn slugs_match_legacy_binary_names() {
+        // Every pre-registry experiment binary must still resolve.
+        for legacy in [
+            "x01_simple_scaling",
+            "x02_state_census",
+            "x03_exactness",
+            "x04_unordered_scaling",
+            "x05_improved_speedup",
+            "x07_init",
+            "x08_clocks",
+            "x09_pruning",
+            "x10_majority",
+            "x11_leader",
+            "x12_dynamics",
+            "x13_usd_comparison",
+            "x14_ablations",
+            "x15_large_k",
+            "x16_trajectories",
+        ] {
+            assert!(find(legacy).is_some(), "legacy name {legacy} unresolvable");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end smoke tests for the scenario registry, the `xp` driver
+//! binary, and the run-manifest contract.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use plurality_bench::{registry, ExpOpts};
+
+fn temp_out(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xp-smoke-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn tiny_scenario_end_to_end_csv_and_manifest() {
+    let out = temp_out("e2e");
+    let opts = ExpOpts {
+        trials: 2,
+        out_dir: out.clone(),
+        ..ExpOpts::default()
+    };
+    let scenario = registry::find("x17").expect("x17 registered");
+    let manifest = registry::run_quiet(scenario, &opts).expect("x17 runs");
+
+    let csv = fs::read_to_string(opts.csv_path("x17_adversarial_init")).expect("csv written");
+    assert!(
+        csv.starts_with("workload,n,k,bias,engine,ok,median,mean,ci95\n"),
+        "unexpected CSV header: {}",
+        csv.lines().next().unwrap_or("")
+    );
+    assert_eq!(csv.lines().count(), 5, "header + 4 workload rows:\n{csv}");
+
+    let json = fs::read_to_string(&manifest).expect("manifest written");
+    for field in [
+        "\"scenario\": \"x17\"",
+        "\"seed\":",
+        "\"trials\": 2",
+        "\"full\": false",
+        "\"engine\": \"batch\"",
+        "\"git_rev\":",
+        "\"wall_s\":",
+        "\"csv\": \"x17_adversarial_init.csv\"",
+        "\"columns\": [\"workload\", \"n\", \"k\", \"bias\", \"engine\", \"ok\", \"median\", \"mean\", \"ci95\"]",
+        "\"rows\": 4",
+    ] {
+        assert!(json.contains(field), "manifest missing {field}:\n{json}");
+    }
+    fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn same_seed_reproduces_identical_rows() {
+    // The registry promise behind the xp ↔ legacy-shim parity criterion:
+    // one scenario implementation, deterministic given (seed, trials).
+    let scenario = registry::find("x17").expect("registered");
+    let mut csvs = Vec::new();
+    for tag in ["rep-a", "rep-b"] {
+        let out = temp_out(tag);
+        let opts = ExpOpts {
+            trials: 2,
+            out_dir: out.clone(),
+            ..ExpOpts::default()
+        };
+        registry::run_quiet(scenario, &opts).expect("runs");
+        csvs.push(fs::read_to_string(opts.csv_path("x17_adversarial_init")).expect("csv"));
+        fs::remove_dir_all(&out).ok();
+    }
+    assert_eq!(csvs[0], csvs[1], "same seed must give identical CSV rows");
+}
+
+#[test]
+fn xp_binary_list_names_every_registered_scenario() {
+    let output = Command::new(env!("CARGO_BIN_EXE_xp"))
+        .arg("list")
+        .output()
+        .expect("xp runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    let listed: Vec<&str> = stdout
+        .lines()
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    let registered: Vec<&str> = registry::scenarios().iter().map(|s| s.name).collect();
+    assert_eq!(listed, registered, "xp list:\n{stdout}");
+}
+
+#[test]
+fn malformed_flags_exit_2_without_panicking() {
+    for args in [
+        &["run", "x17", "--trials", "abc"][..],
+        &["run", "x17", "--bogus"],
+        &["--engine", "warp", "run", "x17"],
+        &["frobnicate"],
+        &[],
+    ] {
+        let output = Command::new(env!("CARGO_BIN_EXE_xp"))
+            .args(args)
+            .output()
+            .expect("xp runs");
+        assert_eq!(output.status.code(), Some(2), "args {args:?}");
+        let stderr = String::from_utf8(output.stderr).expect("utf8");
+        assert!(stderr.contains("error:"), "args {args:?}: {stderr}");
+        assert!(
+            !stderr.contains("panicked"),
+            "args {args:?} panicked: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn help_exits_0_with_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_xp"))
+        .arg("--help")
+        .output()
+        .expect("xp runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("USAGE"), "{stdout}");
+    assert!(stdout.contains("--engine"), "{stdout}");
+}

@@ -99,9 +99,11 @@ pub mod protocol;
 pub mod result;
 pub mod rng;
 pub mod sim;
+pub mod table_seq;
 
 pub use batch::{BatchSimulation, Fenwick, PairwiseBatchSimulation, TableProtocol};
 pub use census::Census;
 pub use protocol::{Protocol, SimRng};
 pub use result::{RunOptions, RunResult, RunStatus};
 pub use sim::Simulation;
+pub use table_seq::SeqTable;

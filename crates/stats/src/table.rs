@@ -44,6 +44,17 @@ impl Table {
         self.rows.len()
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers — the table's output schema, recorded verbatim
+    /// in experiment run manifests.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
     /// `true` iff the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

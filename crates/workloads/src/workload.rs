@@ -1,0 +1,194 @@
+//! Named workload constructors for the scenario DSL.
+//!
+//! A [`Workload`] is a declarative description of an initial opinion
+//! distribution — the value a scenario grid stores instead of a
+//! materialised [`Counts`]. It names one of the support-shape constructors
+//! of [`Counts`] together with its parameters, so experiment manifests can
+//! record *which* input family a row came from and new scenarios can sweep
+//! input shapes with one-line grid entries.
+
+use crate::Counts;
+
+/// A named initial opinion distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// [`Counts::bias_one`]: as equal as possible, plurality leads by the
+    /// minimum feasible bias.
+    BiasOne {
+        /// Population size.
+        n: usize,
+        /// Number of opinions.
+        k: usize,
+    },
+    /// [`Counts::adversarial_bias`]: top two opinions separated by exactly
+    /// `bias`, the rest well below.
+    AdversarialBias {
+        /// Population size.
+        n: usize,
+        /// Number of opinions.
+        k: usize,
+        /// Gap between the top two opinions.
+        bias: usize,
+    },
+    /// [`Counts::one_large`]: a dominant opinion of support `x_max`, the
+    /// rest sharing the remainder evenly (the Theorem 2 regime).
+    OneLarge {
+        /// Population size.
+        n: usize,
+        /// Number of opinions.
+        k: usize,
+        /// Support of the dominant opinion.
+        x_max: usize,
+    },
+    /// [`Counts::zipf`]: supports `∝ i^(−s)`.
+    Zipf {
+        /// Population size.
+        n: usize,
+        /// Number of opinions.
+        k: usize,
+        /// Zipf exponent.
+        s: f64,
+    },
+    /// [`Counts::geometric`]: supports `∝ ratio^i`.
+    Geometric {
+        /// Population size.
+        n: usize,
+        /// Number of opinions.
+        k: usize,
+        /// Decay ratio in `(0, 1)`.
+        ratio: f64,
+    },
+    /// Explicit per-opinion supports (`supports[i]` agents hold opinion
+    /// `i + 1`), for grids that compute shapes inline.
+    Explicit {
+        /// Supports, indexed by opinion − 1.
+        supports: Vec<usize>,
+    },
+}
+
+impl Workload {
+    /// Materialise the support vector.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the constructor panics of [`Counts`] for infeasible
+    /// parameters.
+    pub fn counts(&self) -> Counts {
+        match self {
+            Workload::BiasOne { n, k } => Counts::bias_one(*n, *k),
+            Workload::AdversarialBias { n, k, bias } => Counts::adversarial_bias(*n, *k, *bias),
+            Workload::OneLarge { n, k, x_max } => Counts::one_large(*n, *k, *x_max),
+            Workload::Zipf { n, k, s } => Counts::zipf(*n, *k, *s),
+            Workload::Geometric { n, k, ratio } => Counts::geometric(*n, *k, *ratio),
+            Workload::Explicit { supports } => Counts::from_supports(supports.clone()),
+        }
+    }
+
+    /// Population size `n`.
+    pub fn n(&self) -> usize {
+        match self {
+            Workload::BiasOne { n, .. }
+            | Workload::AdversarialBias { n, .. }
+            | Workload::OneLarge { n, .. }
+            | Workload::Zipf { n, .. }
+            | Workload::Geometric { n, .. } => *n,
+            Workload::Explicit { supports } => supports.iter().sum(),
+        }
+    }
+
+    /// Number of opinions `k`.
+    pub fn k(&self) -> usize {
+        match self {
+            Workload::BiasOne { k, .. }
+            | Workload::AdversarialBias { k, .. }
+            | Workload::OneLarge { k, .. }
+            | Workload::Zipf { k, .. }
+            | Workload::Geometric { k, .. } => *k,
+            Workload::Explicit { supports } => supports.len(),
+        }
+    }
+
+    /// Short family name ("bias_one", "zipf", …) for table rows and
+    /// manifests.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Workload::BiasOne { .. } => "bias_one",
+            Workload::AdversarialBias { .. } => "adversarial",
+            Workload::OneLarge { .. } => "one_large",
+            Workload::Zipf { .. } => "zipf",
+            Workload::Geometric { .. } => "geometric",
+            Workload::Explicit { .. } => "explicit",
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Workload::BiasOne { n, k } => write!(f, "bias_one(n={n},k={k})"),
+            Workload::AdversarialBias { n, k, bias } => {
+                write!(f, "adversarial(n={n},k={k},bias={bias})")
+            }
+            Workload::OneLarge { n, k, x_max } => {
+                write!(f, "one_large(n={n},k={k},x_max={x_max})")
+            }
+            Workload::Zipf { n, k, s } => write!(f, "zipf(n={n},k={k},s={s})"),
+            Workload::Geometric { n, k, ratio } => {
+                write!(f, "geometric(n={n},k={k},ratio={ratio})")
+            }
+            Workload::Explicit { supports } => write!(f, "explicit(k={})", supports.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_workloads_materialise_and_report_dimensions() {
+        let cases = [
+            Workload::BiasOne { n: 600, k: 3 },
+            Workload::AdversarialBias {
+                n: 600,
+                k: 3,
+                bias: 10,
+            },
+            Workload::OneLarge {
+                n: 600,
+                k: 5,
+                x_max: 200,
+            },
+            Workload::Zipf {
+                n: 600,
+                k: 6,
+                s: 1.0,
+            },
+            Workload::Geometric {
+                n: 600,
+                k: 6,
+                ratio: 0.5,
+            },
+            Workload::Explicit {
+                supports: vec![300, 200, 100],
+            },
+        ];
+        for w in cases {
+            let c = w.counts();
+            assert_eq!(c.n(), w.n(), "{w}");
+            assert_eq!(c.k(), w.k(), "{w}");
+            assert!(!w.family().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_names_the_family() {
+        let w = Workload::Zipf {
+            n: 100,
+            k: 4,
+            s: 2.0,
+        };
+        assert_eq!(w.to_string(), "zipf(n=100,k=4,s=2)");
+        assert_eq!(w.family(), "zipf");
+    }
+}
