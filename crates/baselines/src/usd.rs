@@ -7,7 +7,7 @@
 //! winner is essentially a (support-weighted) lottery — USD solves
 //! *approximate*, never *exact*, plurality.
 
-use pp_engine::{Protocol, SimRng};
+use pp_engine::{Protocol, Replacement, SimRng};
 
 /// USD agent: 0 = undecided, `1..=k` = opinion.
 pub type UsdAgent = u16;
@@ -45,6 +45,20 @@ impl Protocol for Usd {
 
     fn encode(&self, state: &u16) -> u64 {
         u64::from(*state)
+    }
+
+    fn fault_state(&self, replacement: &Replacement, _rng: &mut SimRng) -> Option<u16> {
+        match *replacement {
+            // `Usd` carries no opinion count, so a uniformly random state
+            // is not well-defined here; use `UsdTable` (which knows `k`)
+            // for corruption experiments.
+            Replacement::Random | Replacement::Rejoin => None,
+            Replacement::Opinion(o) => u16::try_from(o).ok(),
+        }
+    }
+
+    fn opinion_of(&self, state: &u16) -> Option<u32> {
+        (*state != 0).then(|| u32::from(*state))
     }
 }
 
@@ -108,6 +122,16 @@ impl pp_engine::TableProtocol for UsdTable {
             }
         }
         winner
+    }
+
+    fn opinion(&self, s: usize) -> Option<u32> {
+        (s >= 1).then_some(s as u32)
+    }
+
+    fn opinion_state(&self, opinion: u32) -> Option<usize> {
+        (1..=self.k as u32)
+            .contains(&opinion)
+            .then_some(opinion as usize)
     }
 }
 

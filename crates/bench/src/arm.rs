@@ -11,8 +11,8 @@
 
 use plurality_core::Tuning;
 use pp_engine::{
-    BatchSimulation, Census, PairwiseBatchSimulation, RunOptions, RunStatus, SeqTable, Simulation,
-    TableProtocol,
+    BatchSimulation, Census, FaultPlan, FaultSpec, PairwiseBatchSimulation, RunOptions, RunStatus,
+    SchedulerSpec, SeqTable, Simulation, TableProtocol,
 };
 use pp_workloads::Counts;
 
@@ -35,16 +35,22 @@ pub struct TrialSpec<'a> {
     pub tuning: Tuning,
     /// Collect the distinct-state census (slower; sequential engine only).
     pub census: bool,
+    /// Fault hooks applied during the run (empty = fault-free).
+    pub faults: Vec<FaultSpec>,
+    /// Interaction scheduler (`None` = uniform hot path).
+    pub scheduler: Option<SchedulerSpec>,
 }
 
 impl<'a> TrialSpec<'a> {
-    /// A spec with default tuning and no census.
+    /// A spec with default tuning, no census and no faults.
     pub fn new(counts: &'a Counts, budget: f64) -> Self {
         Self {
             counts,
             budget,
             tuning: Tuning::default(),
             census: false,
+            faults: Vec::new(),
+            scheduler: None,
         }
     }
 }
@@ -91,14 +97,7 @@ impl ErasedArm for ProtocolArm {
     }
 
     fn run(&self, spec: &TrialSpec, _engine: Engine, seed: u64) -> TrialOutcome {
-        run_trial(
-            self.algo,
-            spec.counts,
-            seed,
-            spec.budget,
-            self.tuning.unwrap_or(spec.tuning),
-            spec.census,
-        )
+        run_trial(self.algo, spec, self.tuning.unwrap_or(spec.tuning), seed)
     }
 }
 
@@ -154,21 +153,34 @@ where
         let n: u64 = init.iter().sum();
         let expected = u32::from(spec.counts.plurality());
         let opts = RunOptions::with_parallel_time_budget(n as usize, spec.budget);
+        let plan = FaultPlan::from_specs(&spec.faults);
         let (result, census) = match engine {
-            Engine::Batch => (BatchSimulation::new(table, init, seed).run(&opts), None),
-            Engine::Pairwise => (
-                PairwiseBatchSimulation::new(table, init, seed).run(&opts),
-                None,
-            ),
+            Engine::Batch => {
+                let mut sim = BatchSimulation::new(table, init, seed);
+                if let Some(sched) = spec.scheduler {
+                    sim.set_scheduler(sched.build());
+                }
+                (sim.run_faulted(&opts, &plan), None)
+            }
+            Engine::Pairwise => {
+                let mut sim = PairwiseBatchSimulation::new(table, init, seed);
+                if let Some(sched) = spec.scheduler {
+                    sim.set_scheduler(sched.build());
+                }
+                (sim.run_faulted(&opts, &plan), None)
+            }
             Engine::Seq => {
                 let states = SeqTable::<P>::initial_states(&init);
                 let mut sim = Simulation::new(SeqTable::new(table), states, seed);
+                if let Some(sched) = spec.scheduler {
+                    sim.set_scheduler(sched.build());
+                }
                 if spec.census {
                     let mut c = Census::new();
                     let r = sim.run_with_census(&opts, &mut c);
                     (r, Some(c.len()))
                 } else {
-                    (sim.run(&opts), None)
+                    (sim.run_faulted(&opts, &plan), None)
                 }
             }
         };
@@ -179,6 +191,7 @@ where
             init_end: None,
             le_done: None,
             census,
+            faults: result.faults,
         }
     }
 }

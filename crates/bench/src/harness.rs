@@ -9,6 +9,7 @@
 use std::path::PathBuf;
 
 use pp_engine::ensemble;
+use pp_engine::{FaultSpec, SchedulerSpec};
 
 /// Which simulation engine an experiment's table-protocol arms run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +72,9 @@ Common experiment flags:
   --threads T                worker threads (default: all cores)
   --engine {seq,batch,pairwise}
                              engine for table-protocol arms (default batch)
+  --faults SPEC[,SPEC..]     fault hooks, e.g. corrupt@50:0.1 inject@50:0.1:2
+                             churn@50:0.05 (overrides scenario defaults)
+  --scheduler SPEC           scheduler: uniform, starve:OP:W, pairbias:A
   --help                     print this help";
 
 /// Options shared by all experiment binaries.
@@ -88,6 +92,11 @@ pub struct ExpOpts {
     pub threads: usize,
     /// Engine for table-protocol arms.
     pub engine: Engine,
+    /// Fault hooks applied to every trial (overrides scenario defaults
+    /// when non-empty).
+    pub faults: Vec<FaultSpec>,
+    /// Interaction scheduler override for every trial.
+    pub scheduler: Option<SchedulerSpec>,
 }
 
 impl Default for ExpOpts {
@@ -99,6 +108,8 @@ impl Default for ExpOpts {
             out_dir: PathBuf::from("results"),
             threads: ensemble::default_threads(),
             engine: Engine::default(),
+            faults: Vec::new(),
+            scheduler: None,
         }
     }
 }
@@ -137,6 +148,12 @@ where
             "--out" => opts.out_dir = PathBuf::from(take("--out")?),
             "--threads" => opts.threads = parse_num("--threads", take("--threads")?)?,
             "--engine" => opts.engine = Engine::parse(&take("--engine")?)?,
+            "--faults" => {
+                opts.faults = FaultSpec::parse_list(&take("--faults")?).map_err(CliError)?;
+            }
+            "--scheduler" => {
+                opts.scheduler = Some(take("--scheduler")?.parse().map_err(CliError)?);
+            }
             other if other.starts_with('-') => {
                 return Err(CliError(format!("unknown flag {other}")));
             }
@@ -229,6 +246,13 @@ mod tests {
             (&["--out", "/tmp/x"], |o, _| {
                 o.out_dir == std::path::Path::new("/tmp/x")
             }),
+            (&["--faults", "corrupt@50:0.1,churn@80:0.05"], |o, _| {
+                o.faults.len() == 2 && o.faults[0].to_string() == "corrupt@50:0.1"
+            }),
+            (&["--scheduler", "starve:1:0.5"], |o, _| {
+                o.scheduler.map(|s| s.to_string()) == Some("starve:1:0.5".into())
+            }),
+            (&["--scheduler", "uniform"], |o, _| o.scheduler.is_some()),
             (&["run", "x01", "--trials", "2"], |o, p| {
                 o.trials == 2 && p == ["run".to_string(), "x01".to_string()]
             }),
@@ -245,6 +269,8 @@ mod tests {
             (&["--trials", "0"], "--trials must be at least 1"),
             (&["--threads", "0"], "--threads must be at least 1"),
             (&["--engine", "warp"], "'warp'"),
+            (&["--faults", "meteor@9"], "meteor@9"),
+            (&["--scheduler", "chaotic"], "chaotic"),
             (&["--bogus"], "unknown flag --bogus"),
             (&["--help"], "help"),
             (&["-h"], "help"),

@@ -10,11 +10,14 @@
 //! * [`scenario`] — [`scenario::Scenario`] (a registered experiment) and
 //!   [`scenario::Study`] (a declarative grid × arms × columns runner);
 //! * [`sink`] — CSV emission plus a JSON run manifest (seed, grid flavour,
-//!   engine, git revision, wall time, per-table schemas) for every run;
+//!   engine, fault plan, scheduler, git revision, wall time, per-table
+//!   schemas) for every run;
 //! * [`registry`] — the scenario table behind `xp list` / `xp run` /
 //!   `xp all` and the legacy `x01_…`–`x16_…` shim binaries;
 //! * [`harness`] — the shared CLI ([`ExpOpts`], [`parse_args`]) and
-//!   trial-ensemble execution.
+//!   trial-ensemble execution, including the fault-injection flags
+//!   (`--faults corrupt@50:0.1,…` and `--scheduler starve:1:0.5`) that
+//!   every scenario honors.
 //!
 //! # Running experiments
 //!

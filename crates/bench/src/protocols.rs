@@ -3,8 +3,9 @@
 //! in [`crate::arm`].
 
 use plurality_core::{ImprovedAlgorithm, SimpleAlgorithm, Tuning, UnorderedAlgorithm};
-use pp_engine::{Census, RunOptions, RunStatus, Simulation};
-use pp_workloads::Counts;
+use pp_engine::{Census, FaultPlan, FaultRecord, RunOptions, RunStatus, Simulation};
+
+use crate::arm::TrialSpec;
 
 /// Which protocol to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,6 +44,8 @@ pub struct TrialOutcome {
     pub le_done: Option<u64>,
     /// Distinct states visited (only when census tracking was requested).
     pub census: Option<usize>,
+    /// Per-fault-epoch recovery bookkeeping (empty without a fault plan).
+    pub faults: Vec<FaultRecord>,
 }
 
 /// Upper median of the parallel times over *all* trials (budget-capped
@@ -58,32 +61,29 @@ pub fn median_parallel_time(outcomes: &[TrialOutcome]) -> f64 {
     t[t.len() / 2]
 }
 
-/// Run one trial of `algo` on `counts` with the given seed, parallel-time
-/// budget and tuning. Set `census` to collect the distinct-state count
-/// (slower).
-pub fn run_trial(
-    algo: Algo,
-    counts: &Counts,
-    seed: u64,
-    budget: f64,
-    tuning: Tuning,
-    census: bool,
-) -> TrialOutcome {
-    let assignment = counts.assignment();
+/// Run one trial of `algo` on the spec's counts with the given seed and
+/// tuning. Honors the spec's fault plan and scheduler; census collection
+/// (slower) takes precedence over fault injection when both are requested.
+pub fn run_trial(algo: Algo, spec: &TrialSpec, tuning: Tuning, seed: u64) -> TrialOutcome {
+    let assignment = spec.counts.assignment();
     let n = assignment.n();
     let expected = assignment.plurality();
-    let opts = RunOptions::with_parallel_time_budget(n, budget);
+    let opts = RunOptions::with_parallel_time_budget(n, spec.budget);
+    let plan = FaultPlan::from_specs(&spec.faults);
 
     macro_rules! drive {
         ($ctor:path) => {{
             let (proto, states) = $ctor(&assignment, tuning);
             let mut sim = Simulation::new(proto, states, seed);
-            let (result, census_len) = if census {
+            if let Some(sched) = spec.scheduler {
+                sim.set_scheduler(sched.build());
+            }
+            let (result, census_len) = if spec.census {
                 let mut c = Census::new();
                 let r = sim.run_with_census(&opts, &mut c);
                 (r, Some(c.len()))
             } else {
-                (sim.run(&opts), None)
+                (sim.run_faulted(&opts, &plan), None)
             };
             let ms = *sim.protocol().milestones();
             TrialOutcome {
@@ -93,6 +93,7 @@ pub fn run_trial(
                 init_end: ms.init_end,
                 le_done: ms.le_done,
                 census: census_len,
+                faults: result.faults,
             }
         }};
     }
@@ -107,20 +108,25 @@ pub fn run_trial(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_workloads::Counts;
 
     #[test]
     fn all_three_protocols_drive() {
         let counts = Counts::bias_one(401, 3);
+        let spec = TrialSpec::new(&counts, 500_000.0);
         for algo in [Algo::Simple, Algo::Unordered, Algo::Improved] {
-            let out = run_trial(algo, &counts, 7, 500_000.0, Tuning::default(), false);
+            let out = run_trial(algo, &spec, Tuning::default(), 7);
             assert!(out.converged, "{} did not converge", algo.name());
+            assert!(out.faults.is_empty(), "no plan, no fault records");
         }
     }
 
     #[test]
     fn census_is_collected_when_requested() {
         let counts = Counts::bias_one(401, 3);
-        let out = run_trial(Algo::Simple, &counts, 3, 500_000.0, Tuning::default(), true);
+        let mut spec = TrialSpec::new(&counts, 500_000.0);
+        spec.census = true;
+        let out = run_trial(Algo::Simple, &spec, Tuning::default(), 3);
         let states = out.census.expect("census requested");
         assert!(states > 10, "suspiciously few states: {states}");
     }

@@ -22,6 +22,7 @@
 use std::io;
 
 use plurality_core::Tuning;
+use pp_engine::{FaultSpec, SchedulerSpec};
 use pp_stats::{Summary, Table};
 use pp_workloads::{Counts, Workload};
 
@@ -120,10 +121,15 @@ pub struct GridPoint {
     pub budget: f64,
     /// Tuning constants (per-point so ablations can sweep them).
     pub tuning: Tuning,
+    /// Fault hooks applied in every trial of this point (`--faults`
+    /// overrides when non-empty).
+    pub faults: Vec<FaultSpec>,
+    /// Interaction scheduler (`--scheduler` overrides; `None` = uniform).
+    pub scheduler: Option<SchedulerSpec>,
 }
 
 impl GridPoint {
-    /// A point with default tuning and empty labels.
+    /// A point with default tuning, empty labels and no faults.
     pub fn new(workload: Workload, budget: f64) -> Self {
         Self {
             sweep: "",
@@ -131,6 +137,8 @@ impl GridPoint {
             workload,
             budget,
             tuning: Tuning::default(),
+            faults: Vec::new(),
+            scheduler: None,
         }
     }
 
@@ -149,6 +157,18 @@ impl GridPoint {
     /// Set the tuning.
     pub fn tuning(mut self, tuning: Tuning) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Set the fault plan.
+    pub fn faults(mut self, faults: impl Into<Vec<FaultSpec>>) -> Self {
+        self.faults = faults.into();
+        self
+    }
+
+    /// Set the scheduler.
+    pub fn scheduler(mut self, scheduler: SchedulerSpec) -> Self {
+        self.scheduler = Some(scheduler);
         self
     }
 }
@@ -223,6 +243,38 @@ impl PointRun {
     /// Median of the converged times, `NaN` if none converged.
     pub fn median(&self) -> f64 {
         self.summary().map_or(f64::NAN, |s| s.median)
+    }
+
+    /// Recovery times (parallel time from fault epoch back to an agreeing
+    /// population) over all fault records of all trials, recovered epochs
+    /// only.
+    pub fn recovery_times(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .flat_map(|o| &o.faults)
+            .filter(|f| f.recovered())
+            .map(|f| f.recovery_time)
+            .collect()
+    }
+
+    /// Median recovery time over recovered fault epochs, `NaN` if none.
+    pub fn median_recovery(&self) -> f64 {
+        let mut t = self.recovery_times();
+        if t.is_empty() {
+            return f64::NAN;
+        }
+        t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        t[t.len() / 2]
+    }
+
+    /// Trials where the pre-fault winner survived every fault epoch (the
+    /// population reconverged to the same output it held before the first
+    /// strike).
+    pub fn survived(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.faults.is_empty() && o.faults.iter().all(|f| f.winner_survived()))
+            .count()
     }
 }
 
@@ -332,6 +384,20 @@ pub mod col {
         derived("ci95", move |r| {
             format!("{:.prec$}", r.summary().map_or(f64::NAN, |s| s.ci95()))
         })
+    }
+
+    /// Median recovery time after a fault strike (`NaN` if no epoch
+    /// recovered), given precision.
+    pub fn recovery(prec: usize) -> ColSpec {
+        derived("recovery", move |r| {
+            format!("{:.prec$}", r.median_recovery())
+        })
+    }
+
+    /// Trials whose pre-fault winner survived every strike, as
+    /// "survived/total".
+    pub fn survived() -> ColSpec {
+        derived("survived", |r| format!("{}/{}", r.survived(), r.trials()))
     }
 }
 
@@ -469,11 +535,19 @@ impl Study {
                 continue;
             }
             let counts: Counts = point.workload.counts();
+            // CLI fault/scheduler flags override the point's defaults.
+            let faults = if ctx.opts.faults.is_empty() {
+                point.faults.clone()
+            } else {
+                ctx.opts.faults.clone()
+            };
             let spec = TrialSpec {
                 counts: &counts,
                 budget: sa.budget.unwrap_or(point.budget),
                 tuning: point.tuning,
                 census: self.census,
+                faults,
+                scheduler: ctx.opts.scheduler.or(point.scheduler),
             };
             let stream = self.stream_base + (arm_idx as u64) * 10_000 + point_idx as u64;
             let outcomes = ctx.run_arm(sa.arm.as_ref(), &spec, stream);

@@ -29,6 +29,8 @@ pub mod x14;
 pub mod x15;
 pub mod x16;
 pub mod x17;
+pub mod x18;
+pub mod x19;
 
 /// The shared USD baseline arm for the scaling experiments (x01/x04):
 /// undecided-state dynamics on the same bias-1 inputs, extended to

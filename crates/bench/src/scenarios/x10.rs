@@ -64,6 +64,7 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
             init_end: None,
             le_done: None,
             census: None,
+            faults: r.faults,
         }
     });
     let four_state = arm::table("4-state", |c: &Counts| {

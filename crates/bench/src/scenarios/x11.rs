@@ -44,6 +44,7 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
             init_end: None,
             le_done: None,
             census: None,
+            faults: r.faults,
         }
     });
 

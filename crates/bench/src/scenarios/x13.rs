@@ -13,7 +13,6 @@
 
 use std::io;
 
-use plurality_core::Tuning;
 use pp_stats::Table;
 use pp_workloads::Counts;
 
@@ -62,12 +61,7 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
         let usd_out = ctx.run_arm(usd.as_ref(), &TrialSpec::new(&counts, 100_000.0), i as u64);
         let simple_out = ctx.run_arm(
             simple.as_ref(),
-            &TrialSpec {
-                counts: &counts,
-                budget: 1.0e5,
-                tuning: Tuning::default(),
-                census: false,
-            },
+            &TrialSpec::new(&counts, 1.0e5),
             100 + i as u64,
         );
 

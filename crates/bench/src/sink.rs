@@ -5,8 +5,9 @@
 //! records each table's schema and, on [`Sink::finish`], writes a
 //! `<scenario>_manifest.json` next to the CSVs capturing everything needed
 //! to reproduce the run: scenario name, base seed, trial count, grid
-//! flavour, engine, thread count, git revision, wall time, and the emitted
-//! outputs with their column schemas and row counts.
+//! flavour, engine, fault plan, scheduler, thread count, git revision,
+//! wall time, and the emitted outputs with their column schemas and row
+//! counts.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -123,6 +124,19 @@ impl Sink {
         let _ = writeln!(out, "  \"trials\": {},", self.opts.trials);
         let _ = writeln!(out, "  \"full\": {},", self.opts.full);
         let _ = writeln!(out, "  \"engine\": {},", json_str(self.opts.engine.name()));
+        let faults = self
+            .opts
+            .faults
+            .iter()
+            .map(|f| json_str(&f.to_string()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  \"faults\": [{faults}],");
+        let scheduler = self
+            .opts
+            .scheduler
+            .map_or_else(|| "null".to_string(), |s| json_str(&s.to_string()));
+        let _ = writeln!(out, "  \"scheduler\": {scheduler},");
         let _ = writeln!(out, "  \"threads\": {},", self.opts.threads);
         let _ = writeln!(
             out,
@@ -218,6 +232,8 @@ mod tests {
             "\"seed\":",
             "\"git_rev\":",
             "\"wall_s\":",
+            "\"faults\": []",
+            "\"scheduler\": null",
             "\"csv\": \"x99_demo.csv\"",
             "\"columns\": [\"n\", \"time\"]",
             "\"rows\": 1",
@@ -225,6 +241,33 @@ mod tests {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
         assert!(opts.csv_path("x99_demo").exists());
+        fs::remove_dir_all(&opts.out_dir).ok();
+    }
+
+    #[test]
+    fn manifest_round_trips_fault_and_scheduler_config() {
+        use pp_engine::FaultSpec;
+        let mut opts = temp_opts("faults");
+        opts.faults = FaultSpec::parse_list("corrupt@50:0.1,inject@80:0.2:2").expect("valid specs");
+        opts.scheduler = Some("starve:1:0.5".parse().expect("valid scheduler"));
+        let mut sink = Sink::new("x97", &opts);
+        sink.verbose = false;
+        let t = Table::new("demo", &["a"]);
+        sink.emit("x97_t", &t).expect("emit");
+        let manifest = sink.finish(&["x97_t"]).expect("finish");
+        let json = fs::read_to_string(&manifest).expect("read manifest");
+        // The recorded strings are exactly the CLI spellings, so a manifest
+        // can be replayed by pasting them back into --faults/--scheduler.
+        for needle in [
+            "\"faults\": [\"corrupt@50:0.1\", \"inject@80:0.2:2\"]",
+            "\"scheduler\": \"starve:1:0.5\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        for f in &opts.faults {
+            let spec: FaultSpec = f.to_string().parse().expect("round-trip");
+            assert_eq!(spec, *f);
+        }
         fs::remove_dir_all(&opts.out_dir).ok();
     }
 

@@ -37,6 +37,8 @@ fn tiny_scenario_end_to_end_csv_and_manifest() {
         "\"trials\": 2",
         "\"full\": false",
         "\"engine\": \"batch\"",
+        "\"faults\": []",
+        "\"scheduler\": null",
         "\"git_rev\":",
         "\"wall_s\":",
         "\"csv\": \"x17_adversarial_init.csv\"",
@@ -66,6 +68,83 @@ fn same_seed_reproduces_identical_rows() {
         fs::remove_dir_all(&out).ok();
     }
     assert_eq!(csvs[0], csvs[1], "same seed must give identical CSV rows");
+}
+
+#[test]
+fn fault_scenario_end_to_end_with_recovery_columns() {
+    let out = temp_out("x18");
+    let opts = ExpOpts {
+        trials: 2,
+        out_dir: out.clone(),
+        ..ExpOpts::default()
+    };
+    let scenario = registry::find("x18").expect("x18 registered");
+    registry::run_quiet(scenario, &opts).expect("x18 runs");
+
+    let csv = fs::read_to_string(opts.csv_path("x18_fault_recovery")).expect("csv written");
+    assert!(
+        csv.starts_with("frac,protocol,n,engine,ok,median,recovery,survived\n"),
+        "unexpected CSV header: {}",
+        csv.lines().next().unwrap_or("")
+    );
+    // 4 corruption fractions × 3 arms.
+    assert_eq!(csv.lines().count(), 13, "header + 12 rows:\n{csv}");
+    for line in csv.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        let recovery: f64 = fields[6].parse().expect("recovery parses as a number");
+        assert!(
+            recovery.is_finite() && recovery > 0.0,
+            "expected nonzero recovery time in row: {line}"
+        );
+        assert_eq!(fields[7], "2/2", "winner must survive in row: {line}");
+    }
+    fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn fault_scenario_is_byte_identical_across_reruns() {
+    // Determinism satellite: same seed + same fault plan ⇒ byte-identical
+    // CSV, fault epochs and recovery bookkeeping included.
+    let scenario = registry::find("x18").expect("registered");
+    let mut csvs = Vec::new();
+    for tag in ["x18-rep-a", "x18-rep-b"] {
+        let out = temp_out(tag);
+        let opts = ExpOpts {
+            trials: 2,
+            out_dir: out.clone(),
+            ..ExpOpts::default()
+        };
+        registry::run_quiet(scenario, &opts).expect("runs");
+        csvs.push(fs::read_to_string(opts.csv_path("x18_fault_recovery")).expect("csv"));
+        fs::remove_dir_all(&out).ok();
+    }
+    assert_eq!(
+        csvs[0], csvs[1],
+        "same seed + same fault plan must give identical CSV bytes"
+    );
+}
+
+#[test]
+fn cli_fault_flags_override_scenario_and_land_in_manifest() {
+    use pp_engine::FaultSpec;
+    let out = temp_out("cli-faults");
+    let opts = ExpOpts {
+        trials: 2,
+        out_dir: out.clone(),
+        faults: FaultSpec::parse_list("corrupt@60:0.25").expect("valid"),
+        scheduler: Some("pairbias:0.1".parse().expect("valid")),
+        ..ExpOpts::default()
+    };
+    let scenario = registry::find("x18").expect("registered");
+    let manifest = registry::run_quiet(scenario, &opts).expect("runs");
+    let json = fs::read_to_string(&manifest).expect("manifest written");
+    for field in [
+        "\"faults\": [\"corrupt@60:0.25\"]",
+        "\"scheduler\": \"pairbias:0.1\"",
+    ] {
+        assert!(json.contains(field), "manifest missing {field}:\n{json}");
+    }
+    fs::remove_dir_all(&out).ok();
 }
 
 #[test]

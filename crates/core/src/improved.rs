@@ -12,7 +12,7 @@
 //! `O(n/x_max·log n + log² n)` parallel time with
 //! `O(k·loglog n + log n)` states (for `x_max > n^(1/2+ε)`).
 
-use pp_engine::{Protocol, SimRng};
+use pp_engine::{Protocol, Replacement, SimRng};
 use pp_workloads::OpinionAssignment;
 
 use crate::config::Tuning;
@@ -76,6 +76,14 @@ impl Protocol for ImprovedAlgorithm {
 
     fn encode(&self, state: &Agent) -> u64 {
         self.machine.encode(state)
+    }
+
+    fn fault_state(&self, replacement: &Replacement, rng: &mut SimRng) -> Option<Agent> {
+        self.machine.fault_state(replacement, rng)
+    }
+
+    fn opinion_of(&self, state: &Agent) -> Option<u32> {
+        state.as_collector().map(|c| u32::from(c.opinion))
     }
 }
 

@@ -18,7 +18,7 @@
 
 use pp_clocks::{FormJunta, JuntaClock, LeaderlessClock, PhaseSchedule};
 use pp_dynamics::balance;
-use pp_engine::SimRng;
+use pp_engine::{Replacement, SimRng};
 use pp_leader::Lottery;
 use pp_majority::{CancelSplit, Verdict};
 use rand::Rng;
@@ -145,6 +145,35 @@ impl Machine {
             -(self.tuning.improved_init_hours as i8)
         } else {
             -1
+        }
+    }
+
+    /// A fresh collector as it would enter the initial configuration of
+    /// this machine: one token, initial phase, `le_done` preset in the
+    /// ordered mode (where no leader election runs). The state a
+    /// fault-injected or rejoining agent adopts.
+    pub fn fresh_collector(&self, opinion: u16) -> Agent {
+        Agent::collector(
+            opinion,
+            self.initial_phase(),
+            matches!(self.mode, Mode::Ordered),
+        )
+    }
+
+    /// The state a fault-struck agent adopts, shared by the three
+    /// algorithm wrappers' `Protocol::fault_state`. Corruption and
+    /// injection both produce a [`fresh_collector`](Self::fresh_collector)
+    /// — with a random or the given opinion respectively — modelling an
+    /// agent that loses all protocol progress and restarts with a vote.
+    /// Rejoin is handled by the engine (initial-state restore): `None`.
+    pub fn fault_state(&self, replacement: &Replacement, rng: &mut SimRng) -> Option<Agent> {
+        match *replacement {
+            Replacement::Random => Some(self.fresh_collector(rng.gen_range(1..=self.k))),
+            Replacement::Opinion(o) => u16::try_from(o)
+                .ok()
+                .filter(|op| (1..=self.k).contains(op))
+                .map(|op| self.fresh_collector(op)),
+            Replacement::Rejoin => None,
         }
     }
 

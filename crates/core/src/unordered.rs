@@ -9,7 +9,7 @@
 //! election, i.e. `O(k·log n + log² n)` parallel time with `O(k + log n)`
 //! states.
 
-use pp_engine::{Protocol, SimRng};
+use pp_engine::{Protocol, Replacement, SimRng};
 use pp_workloads::OpinionAssignment;
 
 use crate::config::Tuning;
@@ -67,6 +67,14 @@ impl Protocol for UnorderedAlgorithm {
 
     fn encode(&self, state: &Agent) -> u64 {
         self.machine.encode(state)
+    }
+
+    fn fault_state(&self, replacement: &Replacement, rng: &mut SimRng) -> Option<Agent> {
+        self.machine.fault_state(replacement, rng)
+    }
+
+    fn opinion_of(&self, state: &Agent) -> Option<u32> {
+        state.as_collector().map(|c| u32::from(c.opinion))
     }
 }
 

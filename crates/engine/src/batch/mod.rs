@@ -100,4 +100,20 @@ pub trait TableProtocol {
     /// Convergence check on the configuration (`counts[s]` = agents in
     /// state `s`). Returning `Some(o)` stops the run with output `o`.
     fn output(&self, counts: &[u64]) -> Option<u32>;
+
+    /// The opinion an agent in state `s` advocates, if any — the hook
+    /// adversarial [`Scheduler`](crate::Scheduler)s bias on. `None` (the
+    /// default) marks undecided/helper states, treated uniformly.
+    fn opinion(&self, s: usize) -> Option<u32> {
+        let _ = s;
+        None
+    }
+
+    /// The state a freshly injected agent advocating `opinion` enters
+    /// (the inverse of [`opinion`](Self::opinion) on fresh agents). `None`
+    /// (the default) makes opinion-injection faults degrade to no-ops.
+    fn opinion_state(&self, opinion: u32) -> Option<usize> {
+        let _ = opinion;
+        None
+    }
 }

@@ -192,6 +192,58 @@ pub fn multinomial_into(
     debug_assert_eq!(remaining, 0, "weights exhausted with trials left");
 }
 
+/// [`multinomial_into`] over real-valued weights — the scheduler-biased
+/// tally path, where a cell's weight is `count · opinion_weight` and no
+/// longer integral.
+///
+/// Same conditional-binomial decomposition; the differences are float
+/// hygiene: a cell whose weight reaches the remaining total (within
+/// rounding) absorbs all remaining trials, and any trials stranded by
+/// cancellation in the running `rest` are dumped on the last
+/// positive-weight cell, so every trial is always assigned.
+///
+/// `total` must equal `weights.iter().sum()` (up to rounding) and be
+/// positive.
+pub fn multinomial_weighted_into(
+    rng: &mut SimRng,
+    trials: u64,
+    weights: &[f64],
+    total: f64,
+    out: &mut Vec<(usize, u64)>,
+) {
+    debug_assert!(total > 0.0, "total weight must be positive");
+    let mut remaining = trials;
+    let mut rest = total;
+    let mut last_pos = None;
+    for (index, &w) in weights.iter().enumerate() {
+        if remaining == 0 {
+            return;
+        }
+        if w <= 0.0 {
+            continue;
+        }
+        if w >= rest {
+            out.push((index, remaining));
+            return;
+        }
+        let x = binomial(rng, remaining, w / rest);
+        if x > 0 {
+            out.push((index, x));
+        }
+        remaining -= x;
+        rest -= w;
+        last_pos = Some(index);
+    }
+    if remaining > 0 {
+        if let Some(index) = last_pos {
+            match out.last_mut() {
+                Some(entry) if entry.0 == index => entry.1 += remaining,
+                _ => out.push((index, remaining)),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +345,36 @@ mod tests {
                 let dev = (acc[i] as f64 - want).abs() / want;
                 assert!(dev < 0.05, "cell {i}: {} vs {want:.0}", acc[i]);
             }
+        }
+    }
+
+    #[test]
+    fn weighted_multinomial_conserves_trials_and_tracks_weights() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let weights = [12.5f64, 0.0, 7.5, 0.25, 80.0];
+        let total: f64 = weights.iter().sum();
+        let trials = 10_000u64;
+        let mut acc = vec![0u64; weights.len()];
+        let mut out = Vec::new();
+        let reps = 200;
+        for _ in 0..reps {
+            out.clear();
+            multinomial_weighted_into(&mut rng, trials, &weights, total, &mut out);
+            let drawn: u64 = out.iter().map(|&(_, c)| c).sum();
+            assert_eq!(drawn, trials, "weighted multinomial must use every trial");
+            for &(i, c) in &out {
+                assert!(weights[i] > 0.0, "zero-weight cell {i} drawn");
+                acc[i] += c;
+            }
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if w == 0.0 {
+                assert_eq!(acc[i], 0);
+                continue;
+            }
+            let want = reps as f64 * trials as f64 * w / total;
+            let dev = (acc[i] as f64 - want).abs() / want;
+            assert!(dev < 0.1, "cell {i}: {} vs {want:.0}", acc[i]);
         }
     }
 

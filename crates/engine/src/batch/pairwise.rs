@@ -8,11 +8,14 @@
 //! distributions (see `tests/engine_equivalence.rs`), and the criterion
 //! benches report the speedup against it.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rand::SeedableRng;
 
 use crate::batch::birthday::draw_batch_len_walk;
 use crate::batch::TableProtocol;
+use crate::fault::{strike_counts, FaultPlan, FaultRecord, Scheduler};
 use crate::protocol::SimRng;
 use crate::result::{RunOptions, RunResult, RunStatus};
 
@@ -25,6 +28,7 @@ pub struct PairwiseBatchSimulation<P: TableProtocol> {
     n: u64,
     rng: SimRng,
     interactions: u64,
+    scheduler: Option<Arc<dyn Scheduler>>,
 }
 
 impl<P: TableProtocol> PairwiseBatchSimulation<P> {
@@ -48,7 +52,13 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
             n,
             rng: SimRng::seed_from_u64(seed),
             interactions: 0,
+            scheduler: None,
         }
+    }
+
+    /// Replace the uniform pair scheduler with an adversarial one.
+    pub fn set_scheduler(&mut self, scheduler: Arc<dyn Scheduler>) {
+        self.scheduler = Some(scheduler);
     }
 
     /// Build the configuration from per-agent states.
@@ -93,13 +103,85 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
         unreachable!("counts sum to n")
     }
 
-    /// Advance one collision-free batch; returns the number of interactions
-    /// applied.
-    pub fn step_batch(&mut self) -> u64 {
-        let len = draw_batch_len_walk(&mut self.rng, self.n);
+    /// One weighted state draw under a scheduler (linear scan over
+    /// `counts · opinion_weight`); degrades to the uniform draw when every
+    /// weight is zero.
+    fn sample_state_weighted(&mut self, sched: &dyn Scheduler) -> usize {
+        let weight = |protocol: &P, s: usize, c: u64| {
+            c as f64 * sched.opinion_weight(protocol.opinion(s)).clamp(0.0, 1.0)
+        };
+        let total: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| weight(&self.protocol, s, c))
+            .sum();
+        if total <= 0.0 {
+            return self.sample_state();
+        }
+        let mut target = self.rng.gen::<f64>() * total;
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("population is non-empty");
+        for s in 0..self.counts.len() {
+            target -= weight(&self.protocol, s, self.counts[s]);
+            if target < 0.0 {
+                return s;
+            }
+        }
+        last // float residue: land on the last occupied state
+    }
+
+    /// One draw from the opinion class `want`, by raw counts; `None` when
+    /// the class is empty.
+    fn sample_state_in_class(&mut self, want: Option<u32>) -> Option<usize> {
+        let total: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| self.protocol.opinion(s) == want)
+            .map(|(_, &c)| c)
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let mut target = self.rng.gen_range(0..total);
+        for s in 0..self.counts.len() {
+            if self.protocol.opinion(s) != want {
+                continue;
+            }
+            if target < self.counts[s] {
+                return Some(s);
+            }
+            target -= self.counts[s];
+        }
+        unreachable!("class counts sum to total")
+    }
+
+    /// Apply `len` interactions one pair at a time, honoring the scheduler
+    /// if one is set.
+    fn apply_len(&mut self, len: u64) {
+        let sched = self.scheduler.clone();
+        let assort = sched
+            .as_deref()
+            .map_or(0.0, |s| s.assortativity().clamp(0.0, 1.0));
         for _ in 0..len {
-            let a = self.sample_state();
-            let mut b = self.sample_state();
+            let (a, mut b) = match sched.as_deref() {
+                None => (self.sample_state(), self.sample_state()),
+                Some(s) => {
+                    let a = self.sample_state_weighted(s);
+                    let b = if assort > 0.0 && self.rng.gen_bool(assort) {
+                        let want = self.protocol.opinion(a);
+                        self.sample_state_in_class(want)
+                            .unwrap_or_else(|| self.sample_state_weighted(s))
+                    } else {
+                        self.sample_state_weighted(s)
+                    };
+                    (a, b)
+                }
+            };
             // A same-state draw is fine (two distinct agents can share a
             // state) unless the state holds a single agent: then `a` and
             // `b` would be the *same* agent, which the sequential model
@@ -117,6 +199,13 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
             self.counts[b2] += 1;
         }
         self.interactions += len;
+    }
+
+    /// Advance one collision-free batch; returns the number of interactions
+    /// applied.
+    pub fn step_batch(&mut self) -> u64 {
+        let len = draw_batch_len_walk(&mut self.rng, self.n);
+        self.apply_len(len);
         len
     }
 
@@ -133,12 +222,82 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
         }
     }
 
+    /// Run under a fault plan — the per-pair analogue of
+    /// [`BatchSimulation::run_faulted`](crate::BatchSimulation::run_faulted):
+    /// batches are truncated to land exactly on each fault epoch and
+    /// strikes apply to the census between batches. An empty plan replays
+    /// [`run`](Self::run) exactly.
+    pub fn run_faulted(&mut self, opts: &RunOptions, plan: &FaultPlan) -> RunResult {
+        if plan.is_empty() {
+            return self.run(opts);
+        }
+        let initial = self.counts.clone();
+        let mut records: Vec<FaultRecord> = Vec::new();
+        let mut open: Option<usize> = None;
+
+        for (at, action, label) in plan.schedule() {
+            let target = (at.max(0.0) * self.n as f64).ceil() as u64;
+            if target > opts.max_interactions {
+                break; // scheduled beyond the budget: never fires
+            }
+            while self.interactions < target {
+                if let (Some(k), Some(output)) = (open, self.protocol.output(&self.counts)) {
+                    records[k].recovery_time = self.parallel_time() - records[k].at;
+                    records[k].output_after = Some(output);
+                    open = None;
+                }
+                let len =
+                    draw_batch_len_walk(&mut self.rng, self.n).min(target - self.interactions);
+                self.apply_len(len);
+            }
+            let output_before = self.protocol.output(&self.counts);
+            if let (Some(k), Some(output)) = (open, output_before) {
+                records[k].recovery_time = self.parallel_time() - records[k].at;
+                records[k].output_after = Some(output);
+            }
+            strike_counts(
+                &self.protocol,
+                &mut self.counts,
+                &initial,
+                &action,
+                &mut self.rng,
+            );
+            records.push(FaultRecord {
+                at: self.parallel_time(),
+                hook: label,
+                output_before,
+                output_after: None,
+                recovery_time: f64::NAN,
+            });
+            open = Some(records.len() - 1);
+        }
+
+        loop {
+            if let Some(output) = self.protocol.output(&self.counts) {
+                if let Some(k) = open.take() {
+                    records[k].recovery_time = self.parallel_time() - records[k].at;
+                    records[k].output_after = Some(output);
+                }
+                let mut r = self.finish(RunStatus::Converged, Some(output));
+                r.faults = records;
+                return r;
+            }
+            if self.interactions >= opts.max_interactions {
+                let mut r = self.finish(RunStatus::Exhausted, None);
+                r.faults = records;
+                return r;
+            }
+            self.step_batch();
+        }
+    }
+
     fn finish(&self, status: RunStatus, output: Option<u32>) -> RunResult {
         RunResult {
             status,
             output,
             interactions: self.interactions,
             parallel_time: self.parallel_time(),
+            faults: Vec::new(),
         }
     }
 }

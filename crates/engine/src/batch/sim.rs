@@ -1,11 +1,14 @@
 //! The multinomial-tally configuration-space engine.
 
-use rand::SeedableRng;
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
 
 use crate::batch::birthday::draw_batch_len;
 use crate::batch::fenwick::Fenwick;
-use crate::batch::multinomial::multinomial_into;
+use crate::batch::multinomial::{binomial, multinomial_into, multinomial_weighted_into};
 use crate::batch::TableProtocol;
+use crate::fault::{strike_counts, FaultPlan, FaultRecord, Scheduler};
 use crate::protocol::SimRng;
 use crate::result::{RunOptions, RunResult, RunStatus};
 
@@ -51,6 +54,7 @@ pub struct BatchSimulation<P: TableProtocol> {
     /// collision-free feasibility bound: a batch cannot use more agents of
     /// a state than exist).
     usage: Vec<u64>,
+    scheduler: Option<Arc<dyn Scheduler>>,
 }
 
 impl<P: TableProtocol> BatchSimulation<P> {
@@ -83,7 +87,14 @@ impl<P: TableProtocol> BatchSimulation<P> {
             responders: Vec::new(),
             delta: vec![0; states],
             usage: vec![0; states],
+            scheduler: None,
         }
+    }
+
+    /// Replace the uniform pair scheduler with an adversarial one. The
+    /// uniform tally fast path is untouched when no scheduler is set.
+    pub fn set_scheduler(&mut self, scheduler: Arc<dyn Scheduler>) {
+        self.scheduler = Some(scheduler);
     }
 
     /// Build the configuration from per-agent states.
@@ -133,13 +144,26 @@ impl<P: TableProtocol> BatchSimulation<P> {
     /// draw overdrew a nearly-empty state) are redrawn; after
     /// [`MAX_TALLY_RETRIES`] misses the batch is applied pair by pair.
     fn apply_batch(&mut self, len: u64) {
-        for _ in 0..MAX_TALLY_RETRIES {
-            if self.try_tally(len) {
-                self.interactions += len;
-                return;
+        match self.scheduler.clone() {
+            None => {
+                for _ in 0..MAX_TALLY_RETRIES {
+                    if self.try_tally(len) {
+                        self.interactions += len;
+                        return;
+                    }
+                }
+                self.apply_pairwise(len);
+            }
+            Some(sched) => {
+                for _ in 0..MAX_TALLY_RETRIES {
+                    if self.try_tally_scheduled(len, &*sched) {
+                        self.interactions += len;
+                        return;
+                    }
+                }
+                self.apply_pairwise_scheduled(len, &*sched);
             }
         }
-        self.apply_pairwise(len);
         self.interactions += len;
     }
 
@@ -266,6 +290,222 @@ impl<P: TableProtocol> BatchSimulation<P> {
         }
     }
 
+    /// One tally attempt under an adversarial scheduler: participation
+    /// weights become `counts[s] · opinion_weight(opinion(s))`, drawn
+    /// through real-valued multinomials, and the scheduler's assortativity
+    /// share of the batch forces responders into the initiator's opinion
+    /// class. Feasibility checking and application are shared with
+    /// [`try_tally`](Self::try_tally).
+    fn try_tally_scheduled(&mut self, len: u64, sched: &dyn Scheduler) -> bool {
+        self.delta.iter_mut().for_each(|d| *d = 0);
+        self.usage.iter_mut().for_each(|u| *u = 0);
+
+        let weights: Vec<f64> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| {
+                c as f64
+                    * sched
+                        .opinion_weight(self.protocol.opinion(s))
+                        .clamp(0.0, 1.0)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // Every occupied state was starved to weight zero; degrade to
+            // the uniform tally rather than stall.
+            return self.try_tally(len);
+        }
+
+        let assort = sched.assortativity().clamp(0.0, 1.0);
+        let forced = if assort > 0.0 {
+            binomial(&mut self.rng, len, assort)
+        } else {
+            0
+        };
+
+        let mut initiators = std::mem::take(&mut self.initiators);
+        let mut responders = std::mem::take(&mut self.responders);
+
+        // Free pairs: weighted initiators, weighted responders.
+        initiators.clear();
+        multinomial_weighted_into(
+            &mut self.rng,
+            len - forced,
+            &weights,
+            total,
+            &mut initiators,
+        );
+        for &(a, multiplicity) in &initiators {
+            responders.clear();
+            multinomial_weighted_into(
+                &mut self.rng,
+                multiplicity,
+                &weights,
+                total,
+                &mut responders,
+            );
+            for &(b, m) in &responders {
+                self.accumulate(a, b, m);
+            }
+        }
+
+        // Forced like-with-like pairs: the responder is drawn from the
+        // initiator's opinion class, by raw counts. An empty class (the
+        // initiator is its sole member) degrades to a free draw.
+        if forced > 0 {
+            initiators.clear();
+            multinomial_weighted_into(&mut self.rng, forced, &weights, total, &mut initiators);
+            for &(a, multiplicity) in &initiators {
+                let want = self.protocol.opinion(a);
+                let class: Vec<f64> = self
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &c)| {
+                        if self.protocol.opinion(s) == want {
+                            c as f64
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let class_total: f64 = class.iter().sum();
+                responders.clear();
+                if class_total > 0.0 {
+                    multinomial_weighted_into(
+                        &mut self.rng,
+                        multiplicity,
+                        &class,
+                        class_total,
+                        &mut responders,
+                    );
+                } else {
+                    multinomial_weighted_into(
+                        &mut self.rng,
+                        multiplicity,
+                        &weights,
+                        total,
+                        &mut responders,
+                    );
+                }
+                for &(b, m) in &responders {
+                    self.accumulate(a, b, m);
+                }
+            }
+        }
+
+        initiators.clear();
+        responders.clear();
+        self.initiators = initiators;
+        self.responders = responders;
+
+        if self.counts.iter().zip(&self.usage).any(|(&c, &u)| u > c) {
+            return false;
+        }
+        for s in 0..self.counts.len() {
+            let d = self.delta[s];
+            if d != 0 {
+                self.counts[s] = self.counts[s]
+                    .checked_add_signed(d)
+                    .expect("feasible delta");
+                self.tree.add(s, d);
+            }
+        }
+        true
+    }
+
+    /// Weighted per-pair fallback for scheduled batches (the analogue of
+    /// [`apply_pairwise`](Self::apply_pairwise)): every draw samples from
+    /// the live weighted configuration, so no overdraw is possible.
+    fn apply_pairwise_scheduled(&mut self, len: u64, sched: &dyn Scheduler) {
+        let assort = sched.assortativity().clamp(0.0, 1.0);
+        for _ in 0..len {
+            let a = self.sample_state_weighted(sched);
+            let mut b = if assort > 0.0 && self.rng.gen_bool(assort) {
+                let want = self.protocol.opinion(a);
+                self.sample_state_in_class(want)
+                    .unwrap_or_else(|| self.sample_state_weighted(sched))
+            } else {
+                self.sample_state_weighted(sched)
+            };
+            while b == a && self.counts[a] < 2 {
+                b = self.sample_state_weighted(sched);
+            }
+            let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
+            if (a2, b2) == (a, b) {
+                continue;
+            }
+            for (s, d) in [(a, -1i64), (b, -1), (a2, 1), (b2, 1)] {
+                self.counts[s] = self.counts[s].checked_add_signed(d).expect("live sample");
+                self.tree.add(s, d);
+            }
+        }
+    }
+
+    /// One weighted state draw (linear scan over `counts · weight`); falls
+    /// back to the uniform Fenwick draw if every weight is zero.
+    fn sample_state_weighted(&mut self, sched: &dyn Scheduler) -> usize {
+        let total: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| {
+                c as f64
+                    * sched
+                        .opinion_weight(self.protocol.opinion(s))
+                        .clamp(0.0, 1.0)
+            })
+            .sum();
+        if total <= 0.0 {
+            return self.tree.sample(&mut self.rng);
+        }
+        let mut target = self.rng.gen::<f64>() * total;
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("population is non-empty");
+        for s in 0..self.counts.len() {
+            let w = self.counts[s] as f64
+                * sched
+                    .opinion_weight(self.protocol.opinion(s))
+                    .clamp(0.0, 1.0);
+            target -= w;
+            if target < 0.0 && self.counts[s] > 0 {
+                return s;
+            }
+        }
+        last // float residue: land on the last occupied state
+    }
+
+    /// One draw from the opinion class `want`, by raw counts; `None` when
+    /// the class is empty.
+    fn sample_state_in_class(&mut self, want: Option<u32>) -> Option<usize> {
+        let total: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| self.protocol.opinion(s) == want)
+            .map(|(_, &c)| c)
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let mut target = self.rng.gen_range(0..total);
+        for s in 0..self.counts.len() {
+            if self.protocol.opinion(s) != want {
+                continue;
+            }
+            if target < self.counts[s] {
+                return Some(s);
+            }
+            target -= self.counts[s];
+        }
+        unreachable!("class counts sum to total")
+    }
+
     /// Run until convergence or budget exhaustion. Convergence is checked
     /// between batches (a batch is `Θ(√n)` interactions, finer than the
     /// sequential engine's default `n`-interaction stride);
@@ -285,12 +525,86 @@ impl<P: TableProtocol> BatchSimulation<P> {
         }
     }
 
+    /// Run under a fault plan: batches are split at each hook's parallel
+    /// time (the batch straddling an epoch is truncated to land exactly on
+    /// it), the strike is applied to the census between batches — `O(S)`
+    /// binomial thinning, so the `n = 10⁸` fast path stays fast — and the
+    /// Fenwick mirror is rebuilt. Recovery bookkeeping matches
+    /// [`Simulation::run_faulted`](crate::Simulation::run_faulted); an
+    /// empty plan replays [`run`](Self::run) exactly.
+    pub fn run_faulted(&mut self, opts: &RunOptions, plan: &FaultPlan) -> RunResult {
+        if plan.is_empty() {
+            return self.run(opts);
+        }
+        let initial = self.counts.clone();
+        let mut records: Vec<FaultRecord> = Vec::new();
+        let mut open: Option<usize> = None;
+
+        for (at, action, label) in plan.schedule() {
+            let target = (at.max(0.0) * self.n as f64).ceil() as u64;
+            if target > opts.max_interactions {
+                break; // scheduled beyond the budget: never fires
+            }
+            while self.interactions < target {
+                if let (Some(k), Some(output)) = (open, self.protocol.output(&self.counts)) {
+                    records[k].recovery_time = self.parallel_time() - records[k].at;
+                    records[k].output_after = Some(output);
+                    open = None;
+                }
+                let len = draw_batch_len(&mut self.rng, self.n).min(target - self.interactions);
+                self.apply_batch(len);
+            }
+            let output_before = self.protocol.output(&self.counts);
+            if let (Some(k), Some(output)) = (open, output_before) {
+                records[k].recovery_time = self.parallel_time() - records[k].at;
+                records[k].output_after = Some(output);
+            }
+            strike_counts(
+                &self.protocol,
+                &mut self.counts,
+                &initial,
+                &action,
+                &mut self.rng,
+            );
+            self.tree = Fenwick::from_weights(&self.counts);
+            records.push(FaultRecord {
+                at: self.parallel_time(),
+                hook: label,
+                output_before,
+                output_after: None,
+                recovery_time: f64::NAN,
+            });
+            open = Some(records.len() - 1);
+        }
+
+        loop {
+            if let Some(output) = self.protocol.output(&self.counts) {
+                if let Some(k) = open.take() {
+                    records[k].recovery_time = self.parallel_time() - records[k].at;
+                    records[k].output_after = Some(output);
+                }
+                let mut r = self.finish(RunStatus::Converged, Some(output));
+                r.faults = records;
+                return r;
+            }
+            if self.interactions >= opts.max_interactions {
+                let mut r = self.finish(RunStatus::Exhausted, None);
+                r.faults = records;
+                return r;
+            }
+            let len = draw_batch_len(&mut self.rng, self.n)
+                .min(opts.max_interactions - self.interactions);
+            self.apply_batch(len);
+        }
+    }
+
     fn finish(&self, status: RunStatus, output: Option<u32>) -> RunResult {
         RunResult {
             status,
             output,
             interactions: self.interactions,
             parallel_time: self.parallel_time(),
+            faults: Vec::new(),
         }
     }
 }

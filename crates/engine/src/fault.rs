@@ -1,0 +1,788 @@
+//! Fault injection and adversarial scheduling.
+//!
+//! The paper's headline trade-off — accepting a small failure probability
+//! buys small state — raises the follow-up question of what the protocols
+//! do under *adversarial execution*: transient state corruption
+//! (self-stabilisation in the spirit of the shuffling/load-balancing
+//! consensus line), mid-run opinion injection, crash-and-rejoin churn, and
+//! biased pair schedulers. This module is the engine-level vocabulary for
+//! those experiments:
+//!
+//! * [`FaultHook`] — one scheduled strike (a parallel time, a fraction of
+//!   agents, a [`Replacement`]); concrete hooks are [`Corrupt`],
+//!   [`Inject`] and [`Churn`]. A [`FaultPlan`] composes any number of
+//!   hooks.
+//! * [`Scheduler`] — a pair-selection bias honored by all three engines:
+//!   per-opinion participation weights (the opinion-starving adversary)
+//!   and assortativity (the pair-biased, like-with-like adversary).
+//!   [`UniformScheduler`], [`StarveScheduler`] and [`PairBiasScheduler`]
+//!   are provided.
+//! * [`FaultRecord`] — the recovery bookkeeping attached to
+//!   [`RunResult`](crate::RunResult) by the engines' `run_faulted`
+//!   methods: output before the strike, time to reconverge, output after.
+//! * [`FaultSpec`] / [`SchedulerSpec`] — the `Clone + FromStr + Display`
+//!   surface the experiment CLI and run manifests use, so a fault
+//!   configuration round-trips through `--faults`/`--scheduler` flags and
+//!   JSON manifests losslessly.
+//!
+//! All fault and scheduler randomness is drawn from the engine's own RNG
+//! stream, so a (seed, plan, scheduler) triple replays byte-identically —
+//! the same determinism contract the clean engines already honor.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::batch::multinomial::{binomial, multinomial_into};
+use crate::batch::TableProtocol;
+use crate::protocol::SimRng;
+
+/// What a struck agent's state is replaced with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Replacement {
+    /// A uniformly random protocol state (transient corruption).
+    Random,
+    /// A fresh agent holding the given opinion (mid-run injection).
+    Opinion(u32),
+    /// A fresh agent re-drawn from the initial configuration (an agent
+    /// crashes, loses its state, and rejoins as if newly arrived).
+    Rejoin,
+}
+
+/// One fault strike, fully resolved: which fraction of agents, replaced
+/// with what. Produced by [`FaultHook::action`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultAction {
+    /// Independent probability that any given agent is struck.
+    pub frac: f64,
+    /// Replacement applied to struck agents.
+    pub replacement: Replacement,
+}
+
+/// A fault hook: fires once, at a scheduled parallel time, striking a
+/// random fraction of the population.
+///
+/// Hooks are deliberately *declarative* (a time plus a [`FaultAction`])
+/// rather than closures over engine state: the same hook must apply to a
+/// per-agent state vector (sequential engine) and to a counts vector
+/// (batched engines) without knowing which it runs on.
+pub trait FaultHook: Send + Sync + fmt::Debug {
+    /// Parallel time at which the hook fires.
+    fn at(&self) -> f64;
+
+    /// The strike to apply.
+    fn action(&self) -> FaultAction;
+
+    /// Label recorded in [`FaultRecord`]s and run manifests.
+    fn describe(&self) -> String;
+}
+
+/// Transient state corruption: each agent is flipped to a uniformly random
+/// protocol state with probability `frac`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corrupt {
+    /// Parallel time of the strike.
+    pub at: f64,
+    /// Fraction of agents struck.
+    pub frac: f64,
+}
+
+impl FaultHook for Corrupt {
+    fn at(&self) -> f64 {
+        self.at
+    }
+
+    fn action(&self) -> FaultAction {
+        FaultAction {
+            frac: self.frac,
+            replacement: Replacement::Random,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("corrupt@{}:{}", self.at, self.frac)
+    }
+}
+
+/// Mid-run opinion injection: each agent is replaced by a fresh agent
+/// holding `opinion` with probability `frac` — the adversary floods the
+/// population with a chosen (typically runner-up) opinion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inject {
+    /// Parallel time of the strike.
+    pub at: f64,
+    /// Fraction of agents struck.
+    pub frac: f64,
+    /// The injected opinion.
+    pub opinion: u32,
+}
+
+impl FaultHook for Inject {
+    fn at(&self) -> f64 {
+        self.at
+    }
+
+    fn action(&self) -> FaultAction {
+        FaultAction {
+            frac: self.frac,
+            replacement: Replacement::Opinion(self.opinion),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("inject@{}:{}:{}", self.at, self.frac, self.opinion)
+    }
+}
+
+/// Crash-and-rejoin churn: each agent crashes with probability `frac`,
+/// losing all protocol state, and rejoins immediately as a fresh agent in
+/// an initial-configuration state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Churn {
+    /// Parallel time of the strike.
+    pub at: f64,
+    /// Fraction of agents churned.
+    pub frac: f64,
+}
+
+impl FaultHook for Churn {
+    fn at(&self) -> f64 {
+        self.at
+    }
+
+    fn action(&self) -> FaultAction {
+        FaultAction {
+            frac: self.frac,
+            replacement: Replacement::Rejoin,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("churn@{}:{}", self.at, self.frac)
+    }
+}
+
+/// A composable schedule of fault hooks.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    hooks: Vec<Box<dyn FaultHook>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults; `run_faulted` degenerates to `run`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a hook (builder style).
+    #[must_use]
+    pub fn with(mut self, hook: impl FaultHook + 'static) -> Self {
+        self.hooks.push(Box::new(hook));
+        self
+    }
+
+    /// Add a boxed hook.
+    pub fn push(&mut self, hook: Box<dyn FaultHook>) {
+        self.hooks.push(hook);
+    }
+
+    /// Whether the plan contains no hooks.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+
+    /// Number of hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// The hooks resolved to `(at, action, label)` triples, sorted by
+    /// firing time — the form the engines consume.
+    pub fn schedule(&self) -> Vec<(f64, FaultAction, String)> {
+        let mut epochs: Vec<(f64, FaultAction, String)> = self
+            .hooks
+            .iter()
+            .map(|h| (h.at(), h.action(), h.describe()))
+            .collect();
+        epochs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fault times"));
+        epochs
+    }
+
+    /// Build a plan from CLI/manifest-level specs.
+    pub fn from_specs(specs: &[FaultSpec]) -> Self {
+        let mut plan = Self::new();
+        for s in specs {
+            plan.push(s.hook());
+        }
+        plan
+    }
+}
+
+/// Recovery bookkeeping for one fired fault hook, attached to
+/// [`RunResult::faults`](crate::RunResult).
+///
+/// `recovery_time` is `NaN` when the run never reconverged after the
+/// strike (either the budget ran out or a later hook struck first —
+/// strikes supersede: only the most recent one is tracked for recovery).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Parallel time at which the hook actually fired.
+    pub at: f64,
+    /// The hook's [`FaultHook::describe`] label.
+    pub hook: String,
+    /// Converged output immediately before the strike (`None`: the run had
+    /// not converged when the fault hit).
+    pub output_before: Option<u32>,
+    /// Output at the first reconvergence after the strike (`None`: never
+    /// reconverged).
+    pub output_after: Option<u32>,
+    /// Parallel time from the strike to the first reconvergence (`NaN` if
+    /// the run never reconverged).
+    pub recovery_time: f64,
+}
+
+impl FaultRecord {
+    /// Whether the run reconverged after this strike.
+    pub fn recovered(&self) -> bool {
+        self.recovery_time.is_finite()
+    }
+
+    /// Whether the pre-strike winner survived the strike: the run was
+    /// converged when the fault hit and reconverged to the same output.
+    pub fn winner_survived(&self) -> bool {
+        self.output_before.is_some() && self.output_before == self.output_after
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedulers.
+
+/// Bound on rejection-sampling retries in biased pair draws. Adversarial
+/// weights degrade the bias rather than livelock the engine: after this
+/// many rejected draws the last candidate is accepted unconditionally.
+pub const SCHEDULER_RETRIES: u32 = 16;
+
+/// A pair-selection bias, honored by all three engines.
+///
+/// Schedulers are expressed over *opinions* (via
+/// [`Protocol::opinion_of`](crate::Protocol::opinion_of) /
+/// [`TableProtocol::opinion`]) so one scheduler applies uniformly to
+/// per-agent protocols and transition tables. Two knobs compose:
+///
+/// * [`opinion_weight`](Scheduler::opinion_weight) — the relative
+///   probability, in `(0, 1]`, that an agent advocating a given opinion is
+///   drawn as a participant (1 everywhere = the uniform scheduler). The
+///   sequential engine realizes this by bounded rejection sampling, the
+///   batched engines by weighted multinomial tallies.
+/// * [`assortativity`](Scheduler::assortativity) — the probability that
+///   the responder is forced to share the initiator's opinion
+///   (like-with-like pairing), starving the cross-opinion interactions
+///   most protocols rely on.
+pub trait Scheduler: Send + Sync + fmt::Debug {
+    /// Display/manifest name (matches the [`SchedulerSpec`] spelling).
+    fn describe(&self) -> String;
+
+    /// Relative weight in `(0, 1]` with which an agent advocating
+    /// `opinion` is drawn (`None` = undecided/helper agents).
+    fn opinion_weight(&self, opinion: Option<u32>) -> f64 {
+        let _ = opinion;
+        1.0
+    }
+
+    /// Probability that the responder is forced to share the initiator's
+    /// opinion.
+    fn assortativity(&self) -> f64 {
+        0.0
+    }
+}
+
+/// The uniform scheduler — identical to passing no scheduler at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UniformScheduler;
+
+impl Scheduler for UniformScheduler {
+    fn describe(&self) -> String {
+        "uniform".to_string()
+    }
+}
+
+/// The opinion-starving adversary: agents advocating `opinion` participate
+/// with relative weight `weight < 1`, slowing every interaction the
+/// opinion is part of.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarveScheduler {
+    /// The starved opinion.
+    pub opinion: u32,
+    /// Relative participation weight in `(0, 1)`.
+    pub weight: f64,
+}
+
+impl Scheduler for StarveScheduler {
+    fn describe(&self) -> String {
+        format!("starve:{}:{}", self.opinion, self.weight)
+    }
+
+    fn opinion_weight(&self, opinion: Option<u32>) -> f64 {
+        if opinion == Some(self.opinion) {
+            self.weight.clamp(f64::MIN_POSITIVE, 1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The pair-biased adversary: with probability `assort` the responder is
+/// forced to share the initiator's opinion, starving the cross-opinion
+/// interactions consensus depends on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairBiasScheduler {
+    /// Probability of a forced like-with-like pairing.
+    pub assort: f64,
+}
+
+impl Scheduler for PairBiasScheduler {
+    fn describe(&self) -> String {
+        format!("pairbias:{}", self.assort)
+    }
+
+    fn assortativity(&self) -> f64 {
+        self.assort.clamp(0.0, 1.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLI / manifest specs.
+
+/// A fault hook as CLI flag and manifest entry: `corrupt@AT:FRAC`,
+/// `inject@AT:FRAC:OPINION` or `churn@AT:FRAC`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// See [`Corrupt`].
+    Corrupt {
+        /// Parallel time of the strike.
+        at: f64,
+        /// Fraction of agents struck.
+        frac: f64,
+    },
+    /// See [`Inject`].
+    Inject {
+        /// Parallel time of the strike.
+        at: f64,
+        /// Fraction of agents struck.
+        frac: f64,
+        /// The injected opinion.
+        opinion: u32,
+    },
+    /// See [`Churn`].
+    Churn {
+        /// Parallel time of the strike.
+        at: f64,
+        /// Fraction of agents churned.
+        frac: f64,
+    },
+}
+
+impl FaultSpec {
+    /// The concrete hook this spec describes.
+    pub fn hook(&self) -> Box<dyn FaultHook> {
+        match *self {
+            FaultSpec::Corrupt { at, frac } => Box::new(Corrupt { at, frac }),
+            FaultSpec::Inject { at, frac, opinion } => Box::new(Inject { at, frac, opinion }),
+            FaultSpec::Churn { at, frac } => Box::new(Churn { at, frac }),
+        }
+    }
+
+    /// Parse a comma-separated hook list (the `--faults` flag value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed entry.
+    pub fn parse_list(s: &str) -> Result<Vec<FaultSpec>, String> {
+        s.split(',')
+            .filter(|p| !p.is_empty())
+            .map(str::parse)
+            .collect()
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultSpec::Corrupt { at, frac } => write!(f, "corrupt@{at}:{frac}"),
+            FaultSpec::Inject { at, frac, opinion } => write!(f, "inject@{at}:{frac}:{opinion}"),
+            FaultSpec::Churn { at, frac } => write!(f, "churn@{at}:{frac}"),
+        }
+    }
+}
+
+impl FromStr for FaultSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || {
+            format!("fault '{s}' is not corrupt@AT:FRAC, inject@AT:FRAC:OPINION or churn@AT:FRAC")
+        };
+        let (kind, rest) = s.split_once('@').ok_or_else(err)?;
+        let parts: Vec<&str> = rest.split(':').collect();
+        let num = |v: &str| v.parse::<f64>().map_err(|_| err());
+        let frac_ok = |frac: f64| (0.0..=1.0).contains(&frac);
+        match (kind, parts.as_slice()) {
+            ("corrupt", [at, frac]) => {
+                let (at, frac) = (num(at)?, num(frac)?);
+                frac_ok(frac)
+                    .then_some(FaultSpec::Corrupt { at, frac })
+                    .ok_or_else(err)
+            }
+            ("inject", [at, frac, opinion]) => {
+                let (at, frac) = (num(at)?, num(frac)?);
+                let opinion = opinion.parse::<u32>().map_err(|_| err())?;
+                frac_ok(frac)
+                    .then_some(FaultSpec::Inject { at, frac, opinion })
+                    .ok_or_else(err)
+            }
+            ("churn", [at, frac]) => {
+                let (at, frac) = (num(at)?, num(frac)?);
+                frac_ok(frac)
+                    .then_some(FaultSpec::Churn { at, frac })
+                    .ok_or_else(err)
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
+/// A scheduler as CLI flag and manifest entry: `uniform`, `pairbias:A` or
+/// `starve:OPINION:WEIGHT`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerSpec {
+    /// See [`UniformScheduler`].
+    Uniform,
+    /// See [`PairBiasScheduler`].
+    PairBias {
+        /// Probability of a forced like-with-like pairing.
+        assort: f64,
+    },
+    /// See [`StarveScheduler`].
+    Starve {
+        /// The starved opinion.
+        opinion: u32,
+        /// Relative participation weight in `(0, 1)`.
+        weight: f64,
+    },
+}
+
+impl SchedulerSpec {
+    /// Instantiate the scheduler this spec describes.
+    pub fn build(&self) -> Arc<dyn Scheduler> {
+        match *self {
+            SchedulerSpec::Uniform => Arc::new(UniformScheduler),
+            SchedulerSpec::PairBias { assort } => Arc::new(PairBiasScheduler { assort }),
+            SchedulerSpec::Starve { opinion, weight } => {
+                Arc::new(StarveScheduler { opinion, weight })
+            }
+        }
+    }
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SchedulerSpec::Uniform => write!(f, "uniform"),
+            SchedulerSpec::PairBias { assort } => write!(f, "pairbias:{assort}"),
+            SchedulerSpec::Starve { opinion, weight } => write!(f, "starve:{opinion}:{weight}"),
+        }
+    }
+}
+
+impl FromStr for SchedulerSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err =
+            || format!("scheduler '{s}' is not uniform, pairbias:ASSORT or starve:OPINION:WEIGHT");
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts.as_slice() {
+            ["uniform"] => Ok(SchedulerSpec::Uniform),
+            ["pairbias", a] => {
+                let assort = a.parse::<f64>().map_err(|_| err())?;
+                (0.0..=1.0)
+                    .contains(&assort)
+                    .then_some(SchedulerSpec::PairBias { assort })
+                    .ok_or_else(err)
+            }
+            ["starve", op, w] => {
+                let opinion = op.parse::<u32>().map_err(|_| err())?;
+                let weight = w.parse::<f64>().map_err(|_| err())?;
+                (weight > 0.0 && weight <= 1.0)
+                    .then_some(SchedulerSpec::Starve { opinion, weight })
+                    .ok_or_else(err)
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration-level strike (shared by the batched engines).
+
+/// Apply `action` to a configuration-space population: victims are drawn
+/// by per-state binomial thinning (statistically identical to independent
+/// per-agent coin flips, `O(S)` at any `n` — the reason the `n = 10⁸`
+/// fast path stays fast), then re-inserted according to the replacement.
+///
+/// * [`Replacement::Random`] — victims scatter uniformly over the state
+///   space.
+/// * [`Replacement::Opinion`] — victims enter
+///   [`TableProtocol::opinion_state`]; tables without a state for that
+///   opinion degrade to a no-op strike (victims keep their states).
+/// * [`Replacement::Rejoin`] — victims are re-drawn from the *initial*
+///   configuration's distribution.
+pub fn strike_counts<P: TableProtocol + ?Sized>(
+    protocol: &P,
+    counts: &mut [u64],
+    initial: &[u64],
+    action: &FaultAction,
+    rng: &mut SimRng,
+) {
+    let frac = action.frac.clamp(0.0, 1.0);
+    if frac <= 0.0 {
+        return;
+    }
+    let mut victims = vec![0u64; counts.len()];
+    let mut total = 0u64;
+    for (c, v) in counts.iter_mut().zip(victims.iter_mut()) {
+        *v = binomial(rng, *c, frac);
+        *c -= *v;
+        total += *v;
+    }
+    if total == 0 {
+        return;
+    }
+    let mut out = Vec::new();
+    match action.replacement {
+        Replacement::Random => {
+            let uniform = vec![1u64; counts.len()];
+            multinomial_into(rng, total, &uniform, counts.len() as u64, &mut out);
+        }
+        Replacement::Opinion(op) => match protocol.opinion_state(op) {
+            Some(s) => out.push((s, total)),
+            None => out.extend(victims.iter().enumerate().map(|(s, &v)| (s, v))),
+        },
+        Replacement::Rejoin => {
+            let initial_total: u64 = initial.iter().sum();
+            multinomial_into(rng, total, initial, initial_total, &mut out);
+        }
+    }
+    for (s, c) in out {
+        counts[s] += c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Minimal 3-state table with opinions 1 and 2 on states 1 and 2.
+    #[derive(Debug)]
+    struct T3;
+    impl TableProtocol for T3 {
+        fn states(&self) -> usize {
+            3
+        }
+        fn delta(&self, a: usize, b: usize, _rng: &mut SimRng) -> (usize, usize) {
+            (a, b)
+        }
+        fn output(&self, _counts: &[u64]) -> Option<u32> {
+            None
+        }
+        fn opinion(&self, s: usize) -> Option<u32> {
+            (s > 0).then_some(s as u32)
+        }
+        fn opinion_state(&self, opinion: u32) -> Option<usize> {
+            (1..=2).contains(&opinion).then_some(opinion as usize)
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_display_and_parse() {
+        let specs = [
+            FaultSpec::Corrupt {
+                at: 50.0,
+                frac: 0.1,
+            },
+            FaultSpec::Inject {
+                at: 12.5,
+                frac: 0.25,
+                opinion: 3,
+            },
+            FaultSpec::Churn {
+                at: 80.0,
+                frac: 0.05,
+            },
+        ];
+        for s in specs {
+            let printed = s.to_string();
+            assert_eq!(printed.parse::<FaultSpec>(), Ok(s), "{printed}");
+        }
+        let joined = specs.map(|s| s.to_string()).join(",");
+        assert_eq!(FaultSpec::parse_list(&joined), Ok(specs.to_vec()));
+
+        for s in [
+            SchedulerSpec::Uniform,
+            SchedulerSpec::PairBias { assort: 0.3 },
+            SchedulerSpec::Starve {
+                opinion: 1,
+                weight: 0.5,
+            },
+        ] {
+            let printed = s.to_string();
+            assert_eq!(printed.parse::<SchedulerSpec>(), Ok(s), "{printed}");
+            assert_eq!(s.build().describe(), printed);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "corrupt",
+            "corrupt@x:0.1",
+            "corrupt@10:1.5",
+            "inject@10:0.1",
+            "meteor@10:0.1",
+            "",
+        ] {
+            assert!(bad.parse::<FaultSpec>().is_err(), "{bad:?} should fail");
+        }
+        for bad in ["warp", "pairbias:2.0", "starve:1:0", "starve:1"] {
+            assert!(bad.parse::<SchedulerSpec>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn plan_schedule_is_sorted_by_time() {
+        let plan = FaultPlan::new()
+            .with(Churn {
+                at: 80.0,
+                frac: 0.1,
+            })
+            .with(Corrupt {
+                at: 20.0,
+                frac: 0.2,
+            });
+        let schedule = plan.schedule();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(schedule[0].0, 20.0);
+        assert_eq!(schedule[1].0, 80.0);
+        assert_eq!(schedule[0].1.replacement, Replacement::Random);
+        assert_eq!(schedule[1].1.replacement, Replacement::Rejoin);
+    }
+
+    #[test]
+    fn strike_counts_conserves_population() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let initial = [0u64, 700, 300];
+        for replacement in [
+            Replacement::Random,
+            Replacement::Opinion(2),
+            Replacement::Rejoin,
+        ] {
+            let mut counts = vec![0u64, 900, 100];
+            strike_counts(
+                &T3,
+                &mut counts,
+                &initial,
+                &FaultAction {
+                    frac: 0.3,
+                    replacement,
+                },
+                &mut rng,
+            );
+            assert_eq!(
+                counts.iter().sum::<u64>(),
+                1000,
+                "{replacement:?} must conserve n"
+            );
+        }
+    }
+
+    #[test]
+    fn opinion_strike_moves_mass_to_the_target_state() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut counts = vec![0u64, 1000, 0];
+        strike_counts(
+            &T3,
+            &mut counts,
+            &[0, 1000, 0],
+            &FaultAction {
+                frac: 0.5,
+                replacement: Replacement::Opinion(2),
+            },
+            &mut rng,
+        );
+        assert!(counts[2] > 300, "injected mass: {counts:?}");
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn unsupported_opinion_strike_is_a_noop() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut counts = vec![10u64, 500, 490];
+        strike_counts(
+            &T3,
+            &mut counts,
+            &[10, 500, 490],
+            &FaultAction {
+                frac: 0.4,
+                replacement: Replacement::Opinion(9),
+            },
+            &mut rng,
+        );
+        assert_eq!(counts, vec![10, 500, 490]);
+    }
+
+    #[test]
+    fn scheduler_weights_and_assortativity() {
+        let starve = StarveScheduler {
+            opinion: 2,
+            weight: 0.25,
+        };
+        assert_eq!(starve.opinion_weight(Some(2)), 0.25);
+        assert_eq!(starve.opinion_weight(Some(1)), 1.0);
+        assert_eq!(starve.opinion_weight(None), 1.0);
+        assert_eq!(starve.assortativity(), 0.0);
+
+        let pair = PairBiasScheduler { assort: 0.4 };
+        assert_eq!(pair.assortativity(), 0.4);
+        assert_eq!(pair.opinion_weight(Some(1)), 1.0);
+        assert_eq!(UniformScheduler.opinion_weight(None), 1.0);
+    }
+
+    #[test]
+    fn fault_record_survival_semantics() {
+        let r = FaultRecord {
+            at: 50.0,
+            hook: "corrupt@50:0.1".into(),
+            output_before: Some(1),
+            output_after: Some(1),
+            recovery_time: 4.2,
+        };
+        assert!(r.recovered() && r.winner_survived());
+        let flipped = FaultRecord {
+            output_after: Some(2),
+            ..r.clone()
+        };
+        assert!(flipped.recovered() && !flipped.winner_survived());
+        let never = FaultRecord {
+            output_after: None,
+            recovery_time: f64::NAN,
+            ..r.clone()
+        };
+        assert!(!never.recovered() && !never.winner_survived());
+        let unconverged_before = FaultRecord {
+            output_before: None,
+            ..r
+        };
+        assert!(!unconverged_before.winner_survived());
+    }
+}

@@ -94,6 +94,7 @@
 pub mod batch;
 pub mod census;
 pub mod ensemble;
+pub mod fault;
 pub mod pair;
 pub mod protocol;
 pub mod result;
@@ -103,6 +104,10 @@ pub mod table_seq;
 
 pub use batch::{BatchSimulation, Fenwick, PairwiseBatchSimulation, TableProtocol};
 pub use census::Census;
+pub use fault::{
+    Churn, Corrupt, FaultAction, FaultHook, FaultPlan, FaultRecord, FaultSpec, Inject,
+    PairBiasScheduler, Replacement, Scheduler, SchedulerSpec, StarveScheduler, UniformScheduler,
+};
 pub use protocol::{Protocol, SimRng};
 pub use result::{RunOptions, RunResult, RunStatus};
 pub use sim::Simulation;

@@ -2,6 +2,8 @@
 
 use rand::rngs::SmallRng;
 
+use crate::fault::Replacement;
+
 /// The RNG handed to transition functions.
 ///
 /// A concrete type (rather than a generic parameter) keeps the hot
@@ -50,5 +52,28 @@ pub trait Protocol {
     fn encode(&self, state: &Self::State) -> u64 {
         let _ = state;
         unimplemented!("this protocol does not provide a census encoding")
+    }
+
+    /// The state a fault-struck agent is replaced with, for the given
+    /// [`Replacement`] kind.
+    ///
+    /// Returning `None` means the protocol cannot synthesize such a state
+    /// and the strike leaves the victim untouched (for
+    /// [`Replacement::Rejoin`] the engine instead restores the victim's
+    /// *initial* state itself, so `None` is the correct answer there).
+    /// The default supports no replacement at all, so faults degrade to
+    /// no-ops on protocols that have not opted in.
+    fn fault_state(&self, replacement: &Replacement, rng: &mut SimRng) -> Option<Self::State> {
+        let _ = (replacement, rng);
+        None
+    }
+
+    /// The opinion an agent in `state` currently advocates, if any — the
+    /// hook adversarial [`Scheduler`](crate::Scheduler)s bias on. `None`
+    /// (the default) marks undecided or helper agents, which schedulers
+    /// treat uniformly.
+    fn opinion_of(&self, state: &Self::State) -> Option<u32> {
+        let _ = state;
+        None
     }
 }

@@ -1,5 +1,7 @@
 //! Run outcomes and options.
 
+use crate::fault::FaultRecord;
+
 /// How a simulation run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RunStatus {
@@ -20,6 +22,9 @@ pub struct RunResult {
     pub interactions: u64,
     /// Interactions divided by the population size.
     pub parallel_time: f64,
+    /// Recovery bookkeeping for every fault hook that fired, in firing
+    /// order. Empty for clean (`run`) and empty-plan `run_faulted` runs.
+    pub faults: Vec<FaultRecord>,
 }
 
 impl RunResult {
@@ -76,6 +81,7 @@ mod tests {
             output: Some(1),
             interactions: 10,
             parallel_time: 1.0,
+            faults: Vec::new(),
         };
         assert!(!r.is_correct(1));
         let r = RunResult {

@@ -1,8 +1,13 @@
 //! The sequential scheduler.
 
-use rand::SeedableRng;
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
 
 use crate::census::Census;
+use crate::fault::{
+    FaultAction, FaultPlan, FaultRecord, Replacement, Scheduler, SCHEDULER_RETRIES,
+};
 use crate::pair::{pair_mut, sample_pair};
 use crate::protocol::{Protocol, SimRng};
 use crate::result::{RunOptions, RunResult, RunStatus};
@@ -15,6 +20,7 @@ pub struct Simulation<P: Protocol> {
     states: Vec<P::State>,
     rng: SimRng,
     interactions: u64,
+    scheduler: Option<Arc<dyn Scheduler>>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -33,7 +39,14 @@ impl<P: Protocol> Simulation<P> {
             states,
             rng: SimRng::seed_from_u64(seed),
             interactions: 0,
+            scheduler: None,
         }
+    }
+
+    /// Replace the uniform pair scheduler with an adversarial one. The
+    /// uniform hot path is untouched when no scheduler is set.
+    pub fn set_scheduler(&mut self, scheduler: Arc<dyn Scheduler>) {
+        self.scheduler = Some(scheduler);
     }
 
     /// Number of agents.
@@ -65,11 +78,63 @@ impl<P: Protocol> Simulation<P> {
     /// responder) indices.
     #[inline]
     pub fn step(&mut self) -> (usize, usize) {
-        let (i, j) = sample_pair(&mut self.rng, self.states.len());
+        let (i, j) = match self.scheduler.clone() {
+            None => sample_pair(&mut self.rng, self.states.len()),
+            Some(sched) => self.sample_pair_scheduled(&*sched),
+        };
         let t = self.interactions;
         let (a, b) = pair_mut(&mut self.states, i, j);
         self.protocol.interact(t, a, b, &mut self.rng);
         self.interactions += 1;
+        (i, j)
+    }
+
+    /// Biased pair draw: bounded rejection sampling against the
+    /// scheduler's per-opinion participation weights, then (with the
+    /// scheduler's assortativity probability) a bounded redraw forcing the
+    /// responder to share the initiator's opinion. All retry loops cap at
+    /// [`SCHEDULER_RETRIES`] and then accept whatever is in hand —
+    /// adversarial weights degrade the bias, never livelock the engine.
+    fn sample_pair_scheduled(&mut self, sched: &dyn Scheduler) -> (usize, usize) {
+        let n = self.states.len();
+        let weight_of = |protocol: &P, state: &P::State| {
+            sched
+                .opinion_weight(protocol.opinion_of(state))
+                .clamp(0.0, 1.0)
+        };
+        let (mut i, mut j) = sample_pair(&mut self.rng, n);
+        for _ in 0..SCHEDULER_RETRIES {
+            let w = weight_of(&self.protocol, &self.states[i]);
+            if w >= 1.0 || self.rng.gen_bool(w) {
+                break;
+            }
+            (i, j) = sample_pair(&mut self.rng, n);
+        }
+        let assort = sched.assortativity().clamp(0.0, 1.0);
+        if assort > 0.0 && self.rng.gen_bool(assort) {
+            // Like-with-like pairing: redraw the responder until it shares
+            // the initiator's opinion (bounded).
+            let want = self.protocol.opinion_of(&self.states[i]);
+            for _ in 0..SCHEDULER_RETRIES {
+                if j != i && self.protocol.opinion_of(&self.states[j]) == want {
+                    break;
+                }
+                j = self.rng.gen_range(0..n);
+            }
+        } else {
+            for _ in 0..SCHEDULER_RETRIES {
+                let w = weight_of(&self.protocol, &self.states[j]);
+                if w >= 1.0 || self.rng.gen_bool(w) {
+                    break;
+                }
+                j = self.rng.gen_range(0..n);
+            }
+        }
+        // The redraws above may have landed on the initiator; restore the
+        // model's distinct-pair invariant unconditionally.
+        while j == i {
+            j = self.rng.gen_range(0..n);
+        }
         (i, j)
     }
 
@@ -136,6 +201,110 @@ impl<P: Protocol> Simulation<P> {
         }
     }
 
+    /// Run under a fault plan: advance to each hook's parallel time, apply
+    /// its strike to the live configuration, and keep running; after the
+    /// last hook, run to convergence or budget as usual. Each strike opens
+    /// a [`FaultRecord`] that is closed (recovery time + output) at the
+    /// first convergence observed afterwards; a record still open when the
+    /// next hook fires or the budget ends keeps a `NaN` recovery time.
+    ///
+    /// An empty plan replays [`run`](Self::run) exactly — same RNG
+    /// trajectory, same result.
+    pub fn run_faulted(&mut self, opts: &RunOptions, plan: &FaultPlan) -> RunResult {
+        if plan.is_empty() {
+            return self.run(opts);
+        }
+        let n = self.n() as f64;
+        let initial = self.states.clone();
+        let stride = self.check_stride(opts);
+        let mut records: Vec<FaultRecord> = Vec::new();
+        let mut open: Option<usize> = None;
+
+        for (at, action, label) in plan.schedule() {
+            let target = (at.max(0.0) * n).ceil() as u64;
+            if target > opts.max_interactions {
+                break; // scheduled beyond the budget: never fires
+            }
+            while self.interactions < target {
+                if let (Some(k), Some(output)) = (open, self.check(opts)) {
+                    records[k].recovery_time = self.parallel_time() - records[k].at;
+                    records[k].output_after = Some(output);
+                    open = None;
+                }
+                let steps = stride.min(target - self.interactions);
+                for _ in 0..steps {
+                    self.step();
+                }
+            }
+            let output_before = self.check(opts);
+            if let (Some(k), Some(output)) = (open.take(), output_before) {
+                records[k].recovery_time = self.parallel_time() - records[k].at;
+                records[k].output_after = Some(output);
+            }
+            self.strike(&initial, &action);
+            records.push(FaultRecord {
+                at: self.parallel_time(),
+                hook: label,
+                output_before,
+                output_after: None,
+                recovery_time: f64::NAN,
+            });
+            open = Some(records.len() - 1);
+        }
+
+        loop {
+            if let Some(output) = self.check(opts) {
+                if let Some(k) = open.take() {
+                    records[k].recovery_time = self.parallel_time() - records[k].at;
+                    records[k].output_after = Some(output);
+                }
+                let mut r = self.finish(RunStatus::Converged, Some(output));
+                r.faults = records;
+                return r;
+            }
+            if self.interactions >= opts.max_interactions {
+                let mut r = self.finish(RunStatus::Exhausted, None);
+                r.faults = records;
+                return r;
+            }
+            let steps = stride.min(opts.max_interactions - self.interactions);
+            for _ in 0..steps {
+                self.step();
+            }
+        }
+    }
+
+    /// Apply one fault strike: every agent is hit independently with
+    /// probability `action.frac`. [`Replacement::Rejoin`] restores the
+    /// victim's initial state; the other kinds delegate to
+    /// [`Protocol::fault_state`], and a protocol returning `None` leaves
+    /// the victim untouched (faults degrade, never panic).
+    fn strike(&mut self, initial: &[P::State], action: &FaultAction) {
+        let frac = action.frac.clamp(0.0, 1.0);
+        if frac <= 0.0 {
+            return;
+        }
+        let Self {
+            protocol,
+            states,
+            rng,
+            ..
+        } = self;
+        for (state, init) in states.iter_mut().zip(initial) {
+            if !rng.gen_bool(frac) {
+                continue;
+            }
+            match action.replacement {
+                Replacement::Rejoin => *state = init.clone(),
+                r => {
+                    if let Some(s) = protocol.fault_state(&r, rng) {
+                        *state = s;
+                    }
+                }
+            }
+        }
+    }
+
     fn check(&self, _opts: &RunOptions) -> Option<u32> {
         self.protocol.converged(&self.states)
     }
@@ -157,6 +326,7 @@ impl<P: Protocol> Simulation<P> {
             output,
             interactions: self.interactions,
             parallel_time: self.parallel_time(),
+            faults: Vec::new(),
         }
     }
 

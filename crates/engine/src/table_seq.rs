@@ -13,7 +13,10 @@
 //! switch engines uniformly instead of keeping a hand-written per-agent
 //! twin of each table protocol.
 
+use rand::Rng;
+
 use crate::batch::TableProtocol;
+use crate::fault::Replacement;
 use crate::protocol::{Protocol, SimRng};
 
 /// Adapter running a [`TableProtocol`] under [`crate::Simulation`].
@@ -70,6 +73,19 @@ impl<P: TableProtocol> Protocol for SeqTable<P> {
 
     fn encode(&self, state: &u32) -> u64 {
         u64::from(*state)
+    }
+
+    fn fault_state(&self, replacement: &Replacement, rng: &mut SimRng) -> Option<u32> {
+        match *replacement {
+            Replacement::Random => Some(rng.gen_range(0..self.table.states()) as u32),
+            Replacement::Opinion(o) => self.table.opinion_state(o).map(|s| s as u32),
+            // The engine restores the victim's initial state itself.
+            Replacement::Rejoin => None,
+        }
+    }
+
+    fn opinion_of(&self, state: &u32) -> Option<u32> {
+        self.table.opinion(*state as usize)
     }
 }
 

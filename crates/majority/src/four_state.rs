@@ -11,7 +11,9 @@
 //! time — the baseline demonstrating why the paper accepts a small failure
 //! probability to get `O(log n)`-time building blocks (experiment X10).
 
-use pp_engine::{Protocol, SimRng};
+use rand::Rng;
+
+use pp_engine::{Protocol, Replacement, SimRng};
 
 /// 4-state agent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +98,30 @@ impl Protocol for FourState {
             WeakB => 3,
         }
     }
+
+    fn fault_state(&self, replacement: &Replacement, rng: &mut SimRng) -> Option<FourStateAgent> {
+        use FourStateAgent::*;
+        match *replacement {
+            Replacement::Random => Some(match rng.gen_range(0..4u8) {
+                0 => StrongA,
+                1 => StrongB,
+                2 => WeakA,
+                _ => WeakB,
+            }),
+            // Injected agents enter strong (token-carrying) — a fresh vote.
+            Replacement::Opinion(1) => Some(StrongA),
+            Replacement::Opinion(2) => Some(StrongB),
+            Replacement::Opinion(_) | Replacement::Rejoin => None,
+        }
+    }
+
+    fn opinion_of(&self, state: &FourStateAgent) -> Option<u32> {
+        use FourStateAgent::*;
+        match state {
+            StrongA | WeakA => Some(1),
+            StrongB | WeakB => Some(2),
+        }
+    }
 }
 
 /// The same protocol as a transition table over states `0..4` (the
@@ -132,6 +158,23 @@ impl pp_engine::TableProtocol for FourState {
             (true, true) => None,
             (true, false) => Some(1),
             (false, _) => Some(2),
+        }
+    }
+
+    fn opinion(&self, s: usize) -> Option<u32> {
+        match s {
+            0 | 2 => Some(1),
+            1 | 3 => Some(2),
+            _ => None,
+        }
+    }
+
+    fn opinion_state(&self, opinion: u32) -> Option<usize> {
+        // Injected agents enter strong (token-carrying) — a fresh vote.
+        match opinion {
+            1 => Some(0),
+            2 => Some(1),
+            _ => None,
         }
     }
 }

@@ -8,7 +8,9 @@
 //! baseline the paper's protocols are measured against (experiment X13
 //! flavour for k = 2).
 
-use pp_engine::{Protocol, SimRng};
+use rand::Rng;
+
+use pp_engine::{Protocol, Replacement, SimRng};
 
 /// 3-state agent: 0 = blank, 1 = A, 2 = B.
 pub type ThreeStateAgent = u8;
@@ -55,6 +57,18 @@ impl Protocol for ThreeState {
     fn encode(&self, state: &u8) -> u64 {
         u64::from(*state)
     }
+
+    fn fault_state(&self, replacement: &Replacement, rng: &mut SimRng) -> Option<u8> {
+        match *replacement {
+            Replacement::Random => Some(rng.gen_range(0..3u8)),
+            Replacement::Opinion(o @ (1 | 2)) => Some(o as u8),
+            Replacement::Opinion(_) | Replacement::Rejoin => None,
+        }
+    }
+
+    fn opinion_of(&self, state: &u8) -> Option<u32> {
+        (*state != BLANK).then(|| u32::from(*state))
+    }
 }
 
 /// The same protocol as a deterministic transition table, runnable on the
@@ -88,6 +102,14 @@ impl pp_engine::TableProtocol for ThreeState {
             (0, _) => Some(u32::from(B)),
             _ => None,
         }
+    }
+
+    fn opinion(&self, s: usize) -> Option<u32> {
+        (s != usize::from(BLANK)).then_some(s as u32)
+    }
+
+    fn opinion_state(&self, opinion: u32) -> Option<usize> {
+        matches!(opinion, 1 | 2).then_some(opinion as usize)
     }
 }
 

@@ -47,6 +47,10 @@ pub mod prelude {
     pub use plurality_core::simple::SimpleAlgorithm;
     pub use plurality_core::unordered::UnorderedAlgorithm;
     pub use plurality_core::Tuning;
-    pub use pp_engine::{Census, Protocol, RunOptions, RunResult, RunStatus, SimRng, Simulation};
+    pub use pp_engine::{
+        BatchSimulation, Census, FaultPlan, FaultSpec, PairwiseBatchSimulation, Protocol,
+        RunOptions, RunResult, RunStatus, SchedulerSpec, SeqTable, SimRng, Simulation,
+        TableProtocol,
+    };
     pub use pp_workloads::{Counts, OpinionAssignment};
 }

@@ -12,7 +12,8 @@
 
 use exact_plurality::baselines::{Usd, UsdTable};
 use exact_plurality::engine::{
-    BatchSimulation, PairwiseBatchSimulation, Protocol, RunOptions, RunStatus, Simulation,
+    BatchSimulation, FaultPlan, FaultSpec, PairwiseBatchSimulation, Protocol, RunOptions,
+    RunStatus, Simulation,
 };
 use exact_plurality::majority::ThreeState;
 
@@ -123,6 +124,66 @@ fn three_state_majority_engines_agree() {
             multinomial,
         );
     }
+}
+
+#[test]
+fn fault_recovery_times_agree_across_engines() {
+    // The fault layer must not break cross-engine consistency: the same
+    // strike (10% of a converged 3-state population scrambled at parallel
+    // time 150) must yield statistically consistent recovery times on all
+    // three engines, within the workspace tolerance.
+    let n = 20_000u64;
+    let plan =
+        FaultPlan::from_specs(&FaultSpec::parse_list("corrupt@150:0.1").expect("spec parses"));
+
+    let recovery = |r: &exact_plurality::engine::RunResult, label: &str, i: u64| -> f64 {
+        assert_eq!(r.status, RunStatus::Converged, "{label} trial {i}");
+        assert_eq!(r.faults.len(), 1, "{label} trial {i}");
+        let f = &r.faults[0];
+        assert!(f.recovered(), "{label} trial {i} never reconverged");
+        assert!(f.recovery_time > 0.0, "{label} trial {i}");
+        f.recovery_time
+    };
+
+    let states = ThreeState::initial_states((n * 11 / 20) as usize, (n * 9 / 20) as usize);
+    let seq_opts = RunOptions {
+        max_interactions: n * 200_000,
+        check_every: (n / 16).max(1),
+    };
+    let seq = median_iqr(
+        (0..TRIALS)
+            .map(|i| {
+                let mut sim = Simulation::new(ThreeState, states.clone(), 6000 + i);
+                recovery(&sim.run_faulted(&seq_opts, &plan), "seq", i)
+            })
+            .collect(),
+    );
+
+    let opts = RunOptions {
+        max_interactions: n * 200_000,
+        check_every: 0,
+    };
+    let pairwise = median_iqr(
+        (0..TRIALS)
+            .map(|i| {
+                let mut sim =
+                    PairwiseBatchSimulation::new(ThreeState, majority_counts(n), 7000 + i);
+                recovery(&sim.run_faulted(&opts, &plan), "pairwise", i)
+            })
+            .collect(),
+    );
+    let multinomial = median_iqr(
+        (0..TRIALS)
+            .map(|i| {
+                let mut sim = BatchSimulation::new(ThreeState, majority_counts(n), 8000 + i);
+                recovery(&sim.run_faulted(&opts, &plan), "multinomial", i)
+            })
+            .collect(),
+    );
+
+    assert_consistent("recovery pairwise", seq, pairwise);
+    assert_consistent("recovery multinomial", seq, multinomial);
+    assert_consistent("recovery multinomial-vs-pairwise", pairwise, multinomial);
 }
 
 #[test]
