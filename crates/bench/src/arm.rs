@@ -11,8 +11,8 @@
 
 use plurality_core::Tuning;
 use pp_engine::{
-    BatchSimulation, Census, FaultPlan, FaultSpec, PairwiseBatchSimulation, RunOptions, RunStatus,
-    SchedulerSpec, SeqTable, Simulation, TableProtocol,
+    AdversarySpec, BatchSimulation, Census, FaultPlan, FaultSpec, PairwiseBatchSimulation,
+    RunOptions, RunStatus, SchedulerSpec, SeqTable, Simulation, TableProtocol,
 };
 use pp_workloads::Counts;
 
@@ -39,6 +39,8 @@ pub struct TrialSpec<'a> {
     pub faults: Vec<FaultSpec>,
     /// Interaction scheduler (`None` = uniform hot path).
     pub scheduler: Option<SchedulerSpec>,
+    /// Byzantine adversary (`None` = all participants honest).
+    pub adversary: Option<AdversarySpec>,
 }
 
 impl<'a> TrialSpec<'a> {
@@ -51,6 +53,7 @@ impl<'a> TrialSpec<'a> {
             census: false,
             faults: Vec::new(),
             scheduler: None,
+            adversary: None,
         }
     }
 }
@@ -160,12 +163,18 @@ where
                 if let Some(sched) = spec.scheduler {
                     sim.set_scheduler(sched.build());
                 }
+                if let Some(adv) = spec.adversary {
+                    sim.set_adversary(adv.build());
+                }
                 (sim.run_faulted(&opts, &plan), None)
             }
             Engine::Pairwise => {
                 let mut sim = PairwiseBatchSimulation::new(table, init, seed);
                 if let Some(sched) = spec.scheduler {
                     sim.set_scheduler(sched.build());
+                }
+                if let Some(adv) = spec.adversary {
+                    sim.set_adversary(adv.build());
                 }
                 (sim.run_faulted(&opts, &plan), None)
             }
@@ -174,6 +183,9 @@ where
                 let mut sim = Simulation::new(SeqTable::new(table), states, seed);
                 if let Some(sched) = spec.scheduler {
                     sim.set_scheduler(sched.build());
+                }
+                if let Some(adv) = spec.adversary {
+                    sim.set_adversary(adv.build());
                 }
                 if spec.census {
                     let mut c = Census::new();

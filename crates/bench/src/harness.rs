@@ -9,7 +9,7 @@
 use std::path::PathBuf;
 
 use pp_engine::ensemble;
-use pp_engine::{FaultSpec, SchedulerSpec};
+use pp_engine::{AdversarySpec, ChurnSpec, FaultSpec, SchedulerSpec};
 
 /// Which simulation engine an experiment's table-protocol arms run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +75,12 @@ Common experiment flags:
   --faults SPEC[,SPEC..]     fault hooks, e.g. corrupt@50:0.1 inject@50:0.1:2
                              churn@50:0.05 (overrides scenario defaults)
   --scheduler SPEC           scheduler: uniform, starve:OP:W, pairbias:A
+  --adversary SPEC           Byzantine liars: byz:FRAC or byz:FRAC:OPINION
+  --churn SPEC               steady-state churn: churn:JOIN or churn:JOIN:LEAVE
+                             (rates per agent per unit parallel time)
+  --checkpoint-every T       write an engine checkpoint every T parallel time
+                             (checkpoint-capable scenarios only)
+  --resume FILE              resume a checkpoint-capable scenario from FILE
   --help                     print this help";
 
 /// Options shared by all experiment binaries.
@@ -97,6 +103,15 @@ pub struct ExpOpts {
     pub faults: Vec<FaultSpec>,
     /// Interaction scheduler override for every trial.
     pub scheduler: Option<SchedulerSpec>,
+    /// Byzantine adversary override for every trial.
+    pub adversary: Option<AdversarySpec>,
+    /// Steady-state churn override (churn-capable scenarios only).
+    pub churn: Option<ChurnSpec>,
+    /// Parallel time between engine checkpoints (checkpoint-capable
+    /// scenarios only).
+    pub checkpoint_every: Option<f64>,
+    /// Checkpoint file to resume from (checkpoint-capable scenarios only).
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for ExpOpts {
@@ -110,6 +125,10 @@ impl Default for ExpOpts {
             engine: Engine::default(),
             faults: Vec::new(),
             scheduler: None,
+            adversary: None,
+            churn: None,
+            checkpoint_every: None,
+            resume: None,
         }
     }
 }
@@ -154,6 +173,20 @@ where
             "--scheduler" => {
                 opts.scheduler = Some(take("--scheduler")?.parse().map_err(CliError)?);
             }
+            "--adversary" => {
+                opts.adversary = Some(take("--adversary")?.parse().map_err(CliError)?);
+            }
+            "--churn" => {
+                opts.churn = Some(take("--churn")?.parse().map_err(CliError)?);
+            }
+            "--checkpoint-every" => {
+                let t: f64 = parse_num("--checkpoint-every", take("--checkpoint-every")?)?;
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(CliError("--checkpoint-every must be positive".into()));
+                }
+                opts.checkpoint_every = Some(t);
+            }
+            "--resume" => opts.resume = Some(PathBuf::from(take("--resume")?)),
             other if other.starts_with('-') => {
                 return Err(CliError(format!("unknown flag {other}")));
             }
@@ -253,6 +286,28 @@ mod tests {
                 o.scheduler.map(|s| s.to_string()) == Some("starve:1:0.5".into())
             }),
             (&["--scheduler", "uniform"], |o, _| o.scheduler.is_some()),
+            (&["--adversary", "byz:0.1"], |o, _| {
+                o.adversary.map(|a| a.to_string()) == Some("byz:0.1".into())
+            }),
+            (&["--adversary", "byz:0.05:2"], |o, _| {
+                o.adversary.map(|a| a.to_string()) == Some("byz:0.05:2".into())
+            }),
+            (&["--churn", "churn:0.01"], |o, _| {
+                o.churn.map(|c| c.to_string()) == Some("churn:0.01".into())
+            }),
+            (&["--churn", "churn:0.02:0.01"], |o, _| {
+                o.churn
+                    == Some(ChurnSpec {
+                        join: 0.02,
+                        leave: 0.01,
+                    })
+            }),
+            (&["--checkpoint-every", "25"], |o, _| {
+                o.checkpoint_every == Some(25.0)
+            }),
+            (&["--resume", "/tmp/x22.ckpt"], |o, _| {
+                o.resume == Some(PathBuf::from("/tmp/x22.ckpt"))
+            }),
             (&["run", "x01", "--trials", "2"], |o, p| {
                 o.trials == 2 && p == ["run".to_string(), "x01".to_string()]
             }),
@@ -271,6 +326,13 @@ mod tests {
             (&["--engine", "warp"], "'warp'"),
             (&["--faults", "meteor@9"], "meteor@9"),
             (&["--scheduler", "chaotic"], "chaotic"),
+            (&["--adversary", "byz:1.5"], "byz:1.5"),
+            (&["--adversary", "sybil:0.1"], "sybil:0.1"),
+            (&["--churn", "churn:-1"], "churn:-1"),
+            (&["--churn", "drizzle:0.1"], "drizzle:0.1"),
+            (&["--checkpoint-every", "0"], "must be positive"),
+            (&["--checkpoint-every", "-3"], "must be positive"),
+            (&["--resume"], "--resume requires a value"),
             (&["--bogus"], "unknown flag --bogus"),
             (&["--help"], "help"),
             (&["-h"], "help"),

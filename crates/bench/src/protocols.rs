@@ -62,8 +62,9 @@ pub fn median_parallel_time(outcomes: &[TrialOutcome]) -> f64 {
 }
 
 /// Run one trial of `algo` on the spec's counts with the given seed and
-/// tuning. Honors the spec's fault plan and scheduler; census collection
-/// (slower) takes precedence over fault injection when both are requested.
+/// tuning. Honors the spec's fault plan, scheduler and adversary; census
+/// collection (slower) takes precedence over fault injection when both
+/// are requested.
 pub fn run_trial(algo: Algo, spec: &TrialSpec, tuning: Tuning, seed: u64) -> TrialOutcome {
     let assignment = spec.counts.assignment();
     let n = assignment.n();
@@ -77,6 +78,9 @@ pub fn run_trial(algo: Algo, spec: &TrialSpec, tuning: Tuning, seed: u64) -> Tri
             let mut sim = Simulation::new(proto, states, seed);
             if let Some(sched) = spec.scheduler {
                 sim.set_scheduler(sched.build());
+            }
+            if let Some(adv) = spec.adversary {
+                sim.set_adversary(adv.build());
             }
             let (result, census_len) = if spec.census {
                 let mut c = Census::new();

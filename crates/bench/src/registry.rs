@@ -14,7 +14,7 @@ use crate::scenarios;
 use crate::sink::Sink;
 
 /// All registered scenarios, in run order.
-static SCENARIOS: [Scenario; 18] = [
+static SCENARIOS: [Scenario; 21] = [
     scenarios::x01::SCENARIO,
     scenarios::x02::SCENARIO,
     scenarios::x03::SCENARIO,
@@ -33,6 +33,9 @@ static SCENARIOS: [Scenario; 18] = [
     scenarios::x17::SCENARIO,
     scenarios::x18::SCENARIO,
     scenarios::x19::SCENARIO,
+    scenarios::x20::SCENARIO,
+    scenarios::x21::SCENARIO,
+    scenarios::x22::SCENARIO,
 ];
 
 /// The registered scenarios.
@@ -112,13 +115,13 @@ mod tests {
 
     #[test]
     fn registry_round_trip() {
-        // The acceptance contract: 18 scenarios, unique names/slugs, each
+        // The acceptance contract: 21 scenarios, unique names/slugs, each
         // findable under both handles, list output naming all of them.
-        assert_eq!(scenarios().len(), 18);
+        assert_eq!(scenarios().len(), 21);
         let mut names: Vec<&str> = scenarios().iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18, "duplicate scenario names");
+        assert_eq!(names.len(), 21, "duplicate scenario names");
         let lines = list_lines();
         for s in scenarios() {
             assert!(std::ptr::eq(find(s.name).expect("find by name"), s));

@@ -22,7 +22,7 @@
 use std::io;
 
 use plurality_core::Tuning;
-use pp_engine::{FaultSpec, SchedulerSpec};
+use pp_engine::{AdversarySpec, FaultSpec, SchedulerSpec};
 use pp_stats::{Summary, Table};
 use pp_workloads::{Counts, Workload};
 
@@ -126,6 +126,8 @@ pub struct GridPoint {
     pub faults: Vec<FaultSpec>,
     /// Interaction scheduler (`--scheduler` overrides; `None` = uniform).
     pub scheduler: Option<SchedulerSpec>,
+    /// Byzantine adversary (`--adversary` overrides; `None` = honest).
+    pub adversary: Option<AdversarySpec>,
 }
 
 impl GridPoint {
@@ -139,6 +141,7 @@ impl GridPoint {
             tuning: Tuning::default(),
             faults: Vec::new(),
             scheduler: None,
+            adversary: None,
         }
     }
 
@@ -169,6 +172,12 @@ impl GridPoint {
     /// Set the scheduler.
     pub fn scheduler(mut self, scheduler: SchedulerSpec) -> Self {
         self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Set the Byzantine adversary.
+    pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 }
@@ -535,7 +544,8 @@ impl Study {
                 continue;
             }
             let counts: Counts = point.workload.counts();
-            // CLI fault/scheduler flags override the point's defaults.
+            // CLI fault/scheduler/adversary flags override the point's
+            // defaults.
             let faults = if ctx.opts.faults.is_empty() {
                 point.faults.clone()
             } else {
@@ -548,6 +558,7 @@ impl Study {
                 census: self.census,
                 faults,
                 scheduler: ctx.opts.scheduler.or(point.scheduler),
+                adversary: ctx.opts.adversary.or(point.adversary),
             };
             let stream = self.stream_base + (arm_idx as u64) * 10_000 + point_idx as u64;
             let outcomes = ctx.run_arm(sa.arm.as_ref(), &spec, stream);

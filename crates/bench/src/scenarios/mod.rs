@@ -31,6 +31,9 @@ pub mod x16;
 pub mod x17;
 pub mod x18;
 pub mod x19;
+pub mod x20;
+pub mod x21;
+pub mod x22;
 
 /// The shared USD baseline arm for the scaling experiments (x01/x04):
 /// undecided-state dynamics on the same bias-1 inputs, extended to

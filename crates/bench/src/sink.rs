@@ -137,6 +137,26 @@ impl Sink {
             .scheduler
             .map_or_else(|| "null".to_string(), |s| json_str(&s.to_string()));
         let _ = writeln!(out, "  \"scheduler\": {scheduler},");
+        let adversary = self
+            .opts
+            .adversary
+            .map_or_else(|| "null".to_string(), |a| json_str(&a.to_string()));
+        let _ = writeln!(out, "  \"adversary\": {adversary},");
+        let churn = self
+            .opts
+            .churn
+            .map_or_else(|| "null".to_string(), |c| json_str(&c.to_string()));
+        let _ = writeln!(out, "  \"churn\": {churn},");
+        let checkpoint_every = self
+            .opts
+            .checkpoint_every
+            .map_or_else(|| "null".to_string(), |t| t.to_string());
+        let _ = writeln!(out, "  \"checkpoint_every\": {checkpoint_every},");
+        let resume = self.opts.resume.as_ref().map_or_else(
+            || "null".to_string(),
+            |p| json_str(&p.display().to_string()),
+        );
+        let _ = writeln!(out, "  \"resume\": {resume},");
         let _ = writeln!(out, "  \"threads\": {},", self.opts.threads);
         let _ = writeln!(
             out,
@@ -234,6 +254,10 @@ mod tests {
             "\"wall_s\":",
             "\"faults\": []",
             "\"scheduler\": null",
+            "\"adversary\": null",
+            "\"churn\": null",
+            "\"checkpoint_every\": null",
+            "\"resume\": null",
             "\"csv\": \"x99_demo.csv\"",
             "\"columns\": [\"n\", \"time\"]",
             "\"rows\": 1",
@@ -250,6 +274,10 @@ mod tests {
         let mut opts = temp_opts("faults");
         opts.faults = FaultSpec::parse_list("corrupt@50:0.1,inject@80:0.2:2").expect("valid specs");
         opts.scheduler = Some("starve:1:0.5".parse().expect("valid scheduler"));
+        opts.adversary = Some("byz:0.05:2".parse().expect("valid adversary"));
+        opts.churn = Some("churn:0.01:0.02".parse().expect("valid churn"));
+        opts.checkpoint_every = Some(25.0);
+        opts.resume = Some(PathBuf::from("/tmp/x22.ckpt"));
         let mut sink = Sink::new("x97", &opts);
         sink.verbose = false;
         let t = Table::new("demo", &["a"]);
@@ -261,6 +289,10 @@ mod tests {
         for needle in [
             "\"faults\": [\"corrupt@50:0.1\", \"inject@80:0.2:2\"]",
             "\"scheduler\": \"starve:1:0.5\"",
+            "\"adversary\": \"byz:0.05:2\"",
+            "\"churn\": \"churn:0.01:0.02\"",
+            "\"checkpoint_every\": 25",
+            "\"resume\": \"/tmp/x22.ckpt\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -197,3 +197,88 @@ fn help_exits_0_with_usage() {
     assert!(stdout.contains("USAGE"), "{stdout}");
     assert!(stdout.contains("--engine"), "{stdout}");
 }
+
+#[test]
+fn repeated_corruption_scenario_emits_fit_table() {
+    let out = temp_out("x20");
+    let opts = ExpOpts {
+        trials: 2,
+        out_dir: out.clone(),
+        ..ExpOpts::default()
+    };
+    let scenario = registry::find("x20").expect("x20 registered");
+    registry::run_quiet(scenario, &opts).expect("x20 runs");
+
+    let csv = fs::read_to_string(opts.csv_path("x20_repeated_corruption")).expect("csv written");
+    assert!(
+        csv.starts_with("protocol,n,engine,ok,median,recovery,survived\n"),
+        "unexpected CSV header: {}",
+        csv.lines().next().unwrap_or("")
+    );
+    // 3 population sizes × 2 arms.
+    assert_eq!(csv.lines().count(), 7, "header + 6 rows:\n{csv}");
+
+    let fit = fs::read_to_string(opts.csv_path("x20_fit")).expect("fit csv written");
+    assert!(
+        fit.starts_with("protocol,a,b,r2,points\n"),
+        "unexpected fit header: {}",
+        fit.lines().next().unwrap_or("")
+    );
+    assert_eq!(
+        fit.lines().count(),
+        3,
+        "header + one fit row per arm:\n{fit}"
+    );
+    for line in fit.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        let slope: f64 = fields[1].parse().expect("slope parses");
+        let r2: f64 = fields[3].parse().expect("r2 parses");
+        assert!(slope > 0.0, "recovery must grow with ln n: {line}");
+        assert!(r2 > 0.5, "ln n must explain the growth: {line}");
+    }
+    fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn churn_soak_resumes_byte_identically_from_a_checkpoint() {
+    // The crash-safety acceptance criterion, end to end through the xp
+    // driver: an uninterrupted checkpointing soak and a second soak
+    // resumed from one of its mid-run snapshots must emit byte-identical
+    // series and summary CSVs.
+    let scenario = registry::find("x22").expect("x22 registered");
+
+    let out_full = temp_out("x22-full");
+    let opts_full = ExpOpts {
+        trials: 2,
+        checkpoint_every: Some(80.0),
+        out_dir: out_full.clone(),
+        ..ExpOpts::default()
+    };
+    registry::run_quiet(scenario, &opts_full).expect("uninterrupted soak runs");
+    let ckpt = opts_full.out_dir.join("x22_t80.ckpt");
+    assert!(ckpt.exists(), "checkpoint written at the first boundary");
+
+    let out_resumed = temp_out("x22-resumed");
+    let opts_resumed = ExpOpts {
+        trials: 2,
+        checkpoint_every: Some(80.0),
+        resume: Some(ckpt),
+        out_dir: out_resumed.clone(),
+        ..ExpOpts::default()
+    };
+    let manifest = registry::run_quiet(scenario, &opts_resumed).expect("resumed soak runs");
+
+    for csv in ["x22_churn_series", "x22_churn_summary"] {
+        let a = fs::read_to_string(opts_full.csv_path(csv)).expect("full csv");
+        let b = fs::read_to_string(opts_resumed.csv_path(csv)).expect("resumed csv");
+        assert_eq!(a, b, "{csv}.csv must be byte-identical after resume");
+    }
+    // The manifest records how the run was produced.
+    let json = fs::read_to_string(&manifest).expect("manifest written");
+    for field in ["\"checkpoint_every\": 80", "\"resume\": "] {
+        assert!(json.contains(field), "manifest missing {field}:\n{json}");
+    }
+
+    fs::remove_dir_all(&out_full).ok();
+    fs::remove_dir_all(&out_resumed).ok();
+}

@@ -155,6 +155,65 @@ fn binomial_mode_inversion(rng: &mut SimRng, n: u64, p: f64) -> u64 {
     }
 }
 
+/// `ln P[Poisson(mean) = k]`.
+#[inline]
+fn ln_poisson_pmf(mean: f64, k: u64) -> f64 {
+    k as f64 * mean.ln() - mean - ln_factorial(k)
+}
+
+/// Draw `X ~ Poisson(mean)`.
+///
+/// Knuth's product-of-uniforms for small means (`O(mean)` uniforms),
+/// inversion from the mode walking outward for large ones (`O(√mean)`
+/// expected) — the same split [`binomial`] uses.
+pub fn poisson(rng: &mut SimRng, mean: f64) -> u64 {
+    debug_assert!(mean >= 0.0 && mean.is_finite(), "mean = {mean}");
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 10.0 {
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut prod: f64 = rng.gen();
+        while prod > limit {
+            k += 1;
+            prod *= rng.gen::<f64>();
+        }
+        return k;
+    }
+    let mode = mean.floor() as u64;
+    let pmf_mode = ln_poisson_pmf(mean, mode).exp();
+    loop {
+        let mut u: f64 = rng.gen();
+        if u < pmf_mode {
+            return mode;
+        }
+        u -= pmf_mode;
+        let (mut lo, mut f_lo) = (mode, pmf_mode);
+        let (mut hi, mut f_hi) = (mode, pmf_mode);
+        loop {
+            f_hi *= mean / (hi + 1) as f64;
+            hi += 1;
+            if u < f_hi {
+                return hi;
+            }
+            u -= f_hi;
+            if lo > 0 {
+                f_lo *= lo as f64 / mean;
+                lo -= 1;
+                if u < f_lo {
+                    return lo;
+                }
+                u -= f_lo;
+            }
+            if f_hi <= f64::MIN_POSITIVE && f_lo <= f64::MIN_POSITIVE {
+                // Residual mass from rounding (probability ~1e-15): redraw.
+                break;
+            }
+        }
+    }
+}
+
 /// Sample `Multinomial(trials; weights/total)` by conditional binomial
 /// splits, appending `(index, count)` for every non-zero cell to `out`.
 ///
@@ -375,6 +434,35 @@ mod tests {
             let want = reps as f64 * trials as f64 * w / total;
             let dev = (acc[i] as f64 - want).abs() / want;
             assert!(dev < 0.1, "cell {i}: {} vs {want:.0}", acc[i]);
+        }
+    }
+
+    #[test]
+    fn poisson_moments_match_in_both_regimes() {
+        let mut rng = SimRng::seed_from_u64(77);
+        for mean in [0.0f64, 0.2, 3.0, 9.9, 10.0, 250.0, 40_000.0] {
+            let draws = 30_000u64;
+            let (mut s1, mut s2) = (0.0f64, 0.0f64);
+            for _ in 0..draws {
+                let x = poisson(&mut rng, mean) as f64;
+                s1 += x;
+                s2 += x * x;
+            }
+            let got_mean = s1 / draws as f64;
+            let got_var = s2 / draws as f64 - got_mean * got_mean;
+            if mean == 0.0 {
+                assert_eq!(got_mean, 0.0);
+                continue;
+            }
+            let mean_tol = 5.0 * (mean / draws as f64).sqrt() + 1e-9;
+            assert!(
+                (got_mean - mean).abs() < mean_tol,
+                "mean={mean}: got {got_mean} (tol {mean_tol})"
+            );
+            assert!(
+                (got_var - mean).abs() / mean < 0.1,
+                "mean={mean}: var {got_var}"
+            );
         }
     }
 

@@ -14,10 +14,12 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use crate::batch::birthday::draw_batch_len_walk;
+use crate::batch::multinomial::poisson;
 use crate::batch::TableProtocol;
-use crate::fault::{strike_counts, FaultPlan, FaultRecord, Scheduler};
+use crate::churn::ChurnProcess;
+use crate::fault::{strike_counts, Adversary, FaultPlan, FaultRecord, Scheduler};
 use crate::protocol::SimRng;
-use crate::result::{RunOptions, RunResult, RunStatus};
+use crate::result::{ChurnSample, RunNote, RunOptions, RunResult, RunStatus};
 
 /// A configuration-space simulation applying batch interactions one pair at
 /// a time.
@@ -28,7 +30,16 @@ pub struct PairwiseBatchSimulation<P: TableProtocol> {
     n: u64,
     rng: SimRng,
     interactions: u64,
+    /// Parallel time accumulated before `interactions_base` — non-zero only
+    /// after churn changed the population size.
+    time_base: f64,
+    /// Interactions already folded into `time_base`.
+    interactions_base: u64,
     scheduler: Option<Arc<dyn Scheduler>>,
+    /// Adversary snapshot: `(lie probability, forged state — `None` =
+    /// uniformly random per lie)`.
+    lie: Option<(f64, Option<usize>)>,
+    scheduler_saturated: bool,
 }
 
 impl<P: TableProtocol> PairwiseBatchSimulation<P> {
@@ -52,13 +63,32 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
             n,
             rng: SimRng::seed_from_u64(seed),
             interactions: 0,
+            time_base: 0.0,
+            interactions_base: 0,
             scheduler: None,
+            lie: None,
+            scheduler_saturated: false,
         }
     }
 
     /// Replace the uniform pair scheduler with an adversarial one.
     pub fn set_scheduler(&mut self, scheduler: Arc<dyn Scheduler>) {
         self.scheduler = Some(scheduler);
+    }
+
+    /// Install a Byzantine interaction adversary. The honest path (and its
+    /// RNG stream) is untouched when none is set. A fixed forged opinion
+    /// with no state in this protocol's table degrades to honesty.
+    pub fn set_adversary(&mut self, adversary: Arc<dyn Adversary>) {
+        let frac = adversary.lie_frac();
+        self.lie = if frac <= 0.0 {
+            None
+        } else {
+            match adversary.forged_opinion() {
+                None => Some((frac, None)),
+                Some(op) => self.protocol.opinion_state(op).map(|s| (frac, Some(s))),
+            }
+        };
     }
 
     /// Build the configuration from per-agent states.
@@ -85,9 +115,44 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
         self.interactions
     }
 
-    /// Parallel time elapsed.
+    /// Parallel time elapsed: interactions divided by the population size,
+    /// folded over population changes (churn) so the clock stays
+    /// continuous.
     pub fn parallel_time(&self) -> f64 {
-        self.interactions as f64 / self.n as f64
+        self.time_base + (self.interactions - self.interactions_base) as f64 / self.n as f64
+    }
+
+    /// The raw RNG state, for checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// The clock's checkpoint triple: `(interactions, interactions_base,
+    /// time_base)`.
+    pub fn clock_parts(&self) -> (u64, u64, f64) {
+        (self.interactions, self.interactions_base, self.time_base)
+    }
+
+    /// Restore RNG and clock from a checkpoint, making subsequent batches
+    /// replay the checkpointed run's stream exactly.
+    pub fn restore_clock(
+        &mut self,
+        interactions: u64,
+        interactions_base: u64,
+        time_base: f64,
+        rng: [u64; 4],
+    ) {
+        self.interactions = interactions;
+        self.interactions_base = interactions_base;
+        self.time_base = time_base;
+        self.rng = SimRng::from_state(rng);
+    }
+
+    /// Fold the elapsed clock into `time_base`; must be called *before*
+    /// the population size changes.
+    fn fold_clock(&mut self) {
+        self.time_base = self.parallel_time();
+        self.interactions_base = self.interactions;
     }
 
     /// Sample one state weighted by the current counts (linear scan — the
@@ -117,6 +182,7 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
             .map(|(s, &c)| weight(&self.protocol, s, c))
             .sum();
         if total <= 0.0 {
+            self.scheduler_saturated = true;
             return self.sample_state();
         }
         let mut target = self.rng.gen::<f64>() * total;
@@ -189,7 +255,10 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
             while b == a && self.counts[a] < 2 {
                 b = self.sample_state();
             }
-            let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
+            let (a2, b2) = match self.lie {
+                None => self.protocol.delta(a, b, &mut self.rng),
+                Some((frac, forged)) => self.byzantine_delta(a, b, frac, forged),
+            };
             if (a2, b2) == (a, b) {
                 continue;
             }
@@ -199,6 +268,38 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
             self.counts[b2] += 1;
         }
         self.interactions += len;
+    }
+
+    /// One interaction under the Byzantine adversary snapshot: each
+    /// participant independently lies with probability `frac`; a liar
+    /// shows the forged state and keeps its own, the honest partner
+    /// transitions against the forgery, and both lying is a no-op.
+    fn byzantine_delta(
+        &mut self,
+        a: usize,
+        b: usize,
+        frac: f64,
+        forged: Option<usize>,
+    ) -> (usize, usize) {
+        let a_lies = self.rng.gen_bool(frac);
+        let b_lies = self.rng.gen_bool(frac);
+        let forge =
+            |rng: &mut SimRng, states: usize| forged.unwrap_or_else(|| rng.gen_range(0..states));
+        let states = self.counts.len();
+        match (a_lies, b_lies) {
+            (true, true) => (a, b),
+            (true, false) => {
+                let f = forge(&mut self.rng, states);
+                let (_, b2) = self.protocol.delta(f, b, &mut self.rng);
+                (a, b2)
+            }
+            (false, true) => {
+                let f = forge(&mut self.rng, states);
+                let (a2, _) = self.protocol.delta(a, f, &mut self.rng);
+                (a2, b)
+            }
+            (false, false) => self.protocol.delta(a, b, &mut self.rng),
+        }
     }
 
     /// Advance one collision-free batch; returns the number of interactions
@@ -291,6 +392,109 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
         }
     }
 
+    /// Run under a steady-state churn process until `stop_at` parallel
+    /// time — the per-pair analogue of
+    /// [`BatchSimulation::run_churned`](crate::BatchSimulation::run_churned):
+    /// Poisson joins (from the `initial` distribution) and leaves (one
+    /// live-count draw each, never below two agents) after every batch,
+    /// with a [`ChurnSample`] at each crossing of the sampling period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or does not cover the state space.
+    pub fn run_churned(
+        &mut self,
+        opts: &RunOptions,
+        churn: &ChurnProcess,
+        initial: &[u64],
+        stop_at: f64,
+    ) -> RunResult {
+        assert_eq!(
+            initial.len(),
+            self.counts.len(),
+            "join distribution must cover the state space"
+        );
+        let initial_total: u64 = initial.iter().sum();
+        assert!(initial_total > 0, "churn needs a join distribution");
+        let mut next_mark = churn.next_mark(self.parallel_time());
+        let mut series: Vec<ChurnSample> = Vec::new();
+        while self.parallel_time() < stop_at && self.interactions < opts.max_interactions {
+            let len = draw_batch_len_walk(&mut self.rng, self.n)
+                .min(opts.max_interactions - self.interactions);
+            self.apply_len(len);
+            self.apply_churn_events(churn, initial, initial_total, len);
+            let clock = self.parallel_time();
+            if clock >= next_mark {
+                series.push(self.churn_sample());
+                next_mark = churn.next_mark(clock);
+            }
+        }
+        let output = self.protocol.output(&self.counts);
+        let status = if output.is_some() {
+            RunStatus::Converged
+        } else {
+            RunStatus::Exhausted
+        };
+        let mut r = self.finish(status, output);
+        r.series = series;
+        r
+    }
+
+    /// Poisson join/leave events covering a batch of `len` interactions,
+    /// applied one draw at a time against the live counts (the per-pair
+    /// idiom of this engine). The clock folds before the population
+    /// changes; leaves keep at least two agents.
+    fn apply_churn_events(
+        &mut self,
+        churn: &ChurnProcess,
+        initial: &[u64],
+        initial_total: u64,
+        len: u64,
+    ) {
+        let spec = churn.spec();
+        let joins = poisson(&mut self.rng, spec.join * len as f64);
+        let leaves = poisson(&mut self.rng, spec.leave * len as f64).min(self.n - 2);
+        if joins == 0 && leaves == 0 {
+            return;
+        }
+        self.fold_clock();
+        for _ in 0..leaves {
+            let victim = self.sample_state();
+            self.counts[victim] -= 1;
+            self.n -= 1;
+        }
+        for _ in 0..joins {
+            let mut target = self.rng.gen_range(0..initial_total);
+            for (s, &c) in initial.iter().enumerate() {
+                if target < c {
+                    self.counts[s] += 1;
+                    break;
+                }
+                target -= c;
+            }
+            self.n += 1;
+        }
+    }
+
+    /// The health sample `run_churned` records at each sampling mark.
+    fn churn_sample(&self) -> ChurnSample {
+        let mut tally: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for (s, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                if let Some(op) = self.protocol.opinion(s) {
+                    *tally.entry(op).or_insert(0) += c;
+                }
+            }
+        }
+        let top = tally.values().copied().max().unwrap_or(0);
+        ChurnSample {
+            t: self.parallel_time(),
+            population: self.n,
+            plurality_frac: top as f64 / self.n as f64,
+            output: self.protocol.output(&self.counts),
+        }
+    }
+
     fn finish(&self, status: RunStatus, output: Option<u32>) -> RunResult {
         RunResult {
             status,
@@ -298,6 +502,12 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
             interactions: self.interactions,
             parallel_time: self.parallel_time(),
             faults: Vec::new(),
+            series: Vec::new(),
+            notes: if self.scheduler_saturated {
+                vec![RunNote::SchedulerSaturated]
+            } else {
+                Vec::new()
+            },
         }
     }
 }

@@ -8,9 +8,10 @@ use crate::batch::birthday::draw_batch_len;
 use crate::batch::fenwick::Fenwick;
 use crate::batch::multinomial::{binomial, multinomial_into, multinomial_weighted_into};
 use crate::batch::TableProtocol;
-use crate::fault::{strike_counts, FaultPlan, FaultRecord, Scheduler};
+use crate::churn::ChurnProcess;
+use crate::fault::{strike_counts, Adversary, FaultPlan, FaultRecord, Scheduler};
 use crate::protocol::SimRng;
-use crate::result::{RunOptions, RunResult, RunStatus};
+use crate::result::{ChurnSample, RunNote, RunOptions, RunResult, RunStatus};
 
 /// Floor on the multiplicity below which responders are always drawn one
 /// by one through the Fenwick sampler. The full rule is adaptive: a
@@ -45,6 +46,11 @@ pub struct BatchSimulation<P: TableProtocol> {
     n: u64,
     rng: SimRng,
     interactions: u64,
+    /// Parallel time accumulated before `interactions_base` — non-zero only
+    /// after churn changed the population size.
+    time_base: f64,
+    /// Interactions already folded into `time_base`.
+    interactions_base: u64,
     deterministic: bool,
     // Scratch buffers reused across batches.
     initiators: Vec<(usize, u64)>,
@@ -55,6 +61,12 @@ pub struct BatchSimulation<P: TableProtocol> {
     /// a state than exist).
     usage: Vec<u64>,
     scheduler: Option<Arc<dyn Scheduler>>,
+    /// Adversary snapshot for the current batch: `(lie probability, forged
+    /// state — `None` = uniformly random per lie)`. `None` when no
+    /// adversary applies (also when the forged opinion has no state in
+    /// this protocol's table: adversaries degrade, never panic).
+    lie: Option<(f64, Option<usize>)>,
+    scheduler_saturated: bool,
 }
 
 impl<P: TableProtocol> BatchSimulation<P> {
@@ -82,12 +94,16 @@ impl<P: TableProtocol> BatchSimulation<P> {
             n,
             rng: SimRng::seed_from_u64(seed),
             interactions: 0,
+            time_base: 0.0,
+            interactions_base: 0,
             deterministic,
             initiators: Vec::new(),
             responders: Vec::new(),
             delta: vec![0; states],
             usage: vec![0; states],
             scheduler: None,
+            lie: None,
+            scheduler_saturated: false,
         }
     }
 
@@ -95,6 +111,26 @@ impl<P: TableProtocol> BatchSimulation<P> {
     /// uniform tally fast path is untouched when no scheduler is set.
     pub fn set_scheduler(&mut self, scheduler: Arc<dyn Scheduler>) {
         self.scheduler = Some(scheduler);
+    }
+
+    /// Install a Byzantine interaction adversary. The honest tally fast
+    /// path (and its RNG stream) is untouched when none is set.
+    pub fn set_adversary(&mut self, adversary: Arc<dyn Adversary>) {
+        self.lie = Self::lie_snapshot(&self.protocol, &*adversary);
+    }
+
+    /// Resolve an adversary to the per-batch `(frac, forged state)`
+    /// snapshot. A fixed forged opinion with no state in the table, or a
+    /// zero lying probability, disables the perturbation entirely.
+    fn lie_snapshot(protocol: &P, adv: &dyn Adversary) -> Option<(f64, Option<usize>)> {
+        let frac = adv.lie_frac();
+        if frac <= 0.0 {
+            return None;
+        }
+        match adv.forged_opinion() {
+            None => Some((frac, None)),
+            Some(op) => protocol.opinion_state(op).map(|s| (frac, Some(s))),
+        }
     }
 
     /// Build the configuration from per-agent states.
@@ -126,9 +162,44 @@ impl<P: TableProtocol> BatchSimulation<P> {
         self.interactions
     }
 
-    /// Parallel time elapsed.
+    /// Parallel time elapsed: interactions divided by the population size,
+    /// folded over population changes (churn) so the clock stays
+    /// continuous.
     pub fn parallel_time(&self) -> f64 {
-        self.interactions as f64 / self.n as f64
+        self.time_base + (self.interactions - self.interactions_base) as f64 / self.n as f64
+    }
+
+    /// The raw RNG state, for checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// The clock's checkpoint triple: `(interactions, interactions_base,
+    /// time_base)`.
+    pub fn clock_parts(&self) -> (u64, u64, f64) {
+        (self.interactions, self.interactions_base, self.time_base)
+    }
+
+    /// Restore RNG and clock from a checkpoint, making subsequent batches
+    /// replay the checkpointed run's stream exactly.
+    pub fn restore_clock(
+        &mut self,
+        interactions: u64,
+        interactions_base: u64,
+        time_base: f64,
+        rng: [u64; 4],
+    ) {
+        self.interactions = interactions;
+        self.interactions_base = interactions_base;
+        self.time_base = time_base;
+        self.rng = SimRng::from_state(rng);
+    }
+
+    /// Fold the elapsed clock into `time_base`; must be called *before*
+    /// the population size changes.
+    fn fold_clock(&mut self) {
+        self.time_base = self.parallel_time();
+        self.interactions_base = self.interactions;
     }
 
     /// Advance one collision-free batch; returns the number of interactions
@@ -239,6 +310,14 @@ impl<P: TableProtocol> BatchSimulation<P> {
     /// per-state delta and usage accumulators.
     #[inline]
     fn accumulate(&mut self, a: usize, b: usize, m: u64) {
+        match self.lie {
+            None => self.accumulate_honest(a, b, m),
+            Some((frac, forged)) => self.accumulate_byz(a, b, m, frac, forged),
+        }
+    }
+
+    #[inline]
+    fn accumulate_honest(&mut self, a: usize, b: usize, m: u64) {
         self.usage[a] += m;
         self.usage[b] += m;
         if self.deterministic {
@@ -267,6 +346,112 @@ impl<P: TableProtocol> BatchSimulation<P> {
         }
     }
 
+    /// Byzantine split of `m` interactions of the ordered pair `(a, b)`:
+    /// each participant independently lies with probability `frac`, so the
+    /// multiplicity decomposes into four binomial shares — both honest
+    /// (the normal transition), only `a` lies (only the responder's
+    /// transition is real, against the forged state), only `b` lies
+    /// (mirror), both lie (no-op). Per occupied pair this is `O(1)`
+    /// binomials plus `O(S)` for random forgeries, keeping the whole tally
+    /// `O(S²)`-bounded — the `n = 10⁸` path stays fast.
+    ///
+    /// Usage is charged to the *real* participants of every share
+    /// (liars still occupy their slot in the collision-free batch).
+    fn accumulate_byz(&mut self, a: usize, b: usize, m: u64, frac: f64, forged: Option<usize>) {
+        self.usage[a] += m;
+        self.usage[b] += m;
+        let m_a_lies = binomial(&mut self.rng, m, frac);
+        let m_both = binomial(&mut self.rng, m_a_lies, frac);
+        let m_b_lies = binomial(&mut self.rng, m - m_a_lies, frac);
+        let m_honest = m - m_a_lies - m_b_lies;
+        // Honest share: the normal two-sided transition (usage is already
+        // charged above, so inline the delta accounting).
+        if m_honest > 0 {
+            if self.deterministic {
+                let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
+                if (a2, b2) != (a, b) {
+                    let m = m_honest as i64;
+                    self.delta[a] -= m;
+                    self.delta[b] -= m;
+                    self.delta[a2] += m;
+                    self.delta[b2] += m;
+                }
+            } else {
+                for _ in 0..m_honest {
+                    let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
+                    if (a2, b2) != (a, b) {
+                        self.delta[a] -= 1;
+                        self.delta[b] -= 1;
+                        self.delta[a2] += 1;
+                        self.delta[b2] += 1;
+                    }
+                }
+            }
+        }
+        // One-sided shares: the honest partner transitions against the
+        // forgery; the liar keeps its state. Both-lie share is a no-op.
+        self.one_sided(a, b, m_a_lies - m_both, forged, true);
+        self.one_sided(a, b, m_b_lies, forged, false);
+    }
+
+    /// `m` interactions where exactly one participant of the ordered pair
+    /// `(a, b)` lies: `a` when `a_lies`, else `b`. Random forgeries
+    /// (`forged == None`) spread the mass multinomially over the `S`
+    /// uniform forged states.
+    fn one_sided(&mut self, a: usize, b: usize, m: u64, forged: Option<usize>, a_lies: bool) {
+        if m == 0 {
+            return;
+        }
+        match forged {
+            Some(f) => self.one_sided_fixed(a, b, m, f, a_lies),
+            None => {
+                let states = self.counts.len();
+                let uniform = vec![1u64; states];
+                let mut shares = Vec::new();
+                multinomial_into(&mut self.rng, m, &uniform, states as u64, &mut shares);
+                for (f, mf) in shares {
+                    self.one_sided_fixed(a, b, mf, f, a_lies);
+                }
+            }
+        }
+    }
+
+    /// One-sided share with a fixed forged state `f`: only the honest
+    /// partner's half of the transition is applied.
+    fn one_sided_fixed(&mut self, a: usize, b: usize, m: u64, f: usize, a_lies: bool) {
+        if self.deterministic {
+            if a_lies {
+                let (_, b2) = self.protocol.delta(f, b, &mut self.rng);
+                if b2 != b {
+                    self.delta[b] -= m as i64;
+                    self.delta[b2] += m as i64;
+                }
+            } else {
+                let (a2, _) = self.protocol.delta(a, f, &mut self.rng);
+                if a2 != a {
+                    self.delta[a] -= m as i64;
+                    self.delta[a2] += m as i64;
+                }
+            }
+        } else {
+            for _ in 0..m {
+                if a_lies {
+                    let (_, b2) = self.protocol.delta(f, b, &mut self.rng);
+                    if b2 != b {
+                        self.delta[b] -= 1;
+                        self.delta[b2] += 1;
+                    }
+                } else {
+                    let (a2, _) = self.protocol.delta(a, f, &mut self.rng);
+                    if a2 != a {
+                        self.delta[a] -= 1;
+                        self.delta[a2] += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Exact per-pair application (the seed semantics): each interaction
     /// samples from the *live* configuration, so no overdraw is possible.
     /// Only used as the rare-tally fallback.
@@ -279,15 +464,47 @@ impl<P: TableProtocol> BatchSimulation<P> {
             while b == a && self.counts[a] < 2 {
                 b = self.tree.sample(&mut self.rng);
             }
-            let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
-            if (a2, b2) == (a, b) {
-                continue;
-            }
-            for (s, d) in [(a, -1i64), (b, -1), (a2, 1), (b2, 1)] {
-                self.counts[s] = self.counts[s].checked_add_signed(d).expect("live sample");
-                self.tree.add(s, d);
-            }
+            self.apply_live_interaction(a, b);
         }
+    }
+
+    /// Resolve one live interaction of the ordered pair `(a, b)` — the
+    /// per-interaction Byzantine coin flips when an adversary is active,
+    /// the plain transition otherwise — and apply it to the live counts.
+    fn apply_live_interaction(&mut self, a: usize, b: usize) {
+        let (a2, b2) = match self.lie {
+            None => self.protocol.delta(a, b, &mut self.rng),
+            Some((frac, forged)) => {
+                let a_lies = self.rng.gen_bool(frac);
+                let b_lies = self.rng.gen_bool(frac);
+                match (a_lies, b_lies) {
+                    (true, true) => (a, b),
+                    (true, false) => {
+                        let f = self.forged_state(forged);
+                        let (_, b2) = self.protocol.delta(f, b, &mut self.rng);
+                        (a, b2)
+                    }
+                    (false, true) => {
+                        let f = self.forged_state(forged);
+                        let (a2, _) = self.protocol.delta(a, f, &mut self.rng);
+                        (a2, b)
+                    }
+                    (false, false) => self.protocol.delta(a, b, &mut self.rng),
+                }
+            }
+        };
+        if (a2, b2) == (a, b) {
+            return;
+        }
+        for (s, d) in [(a, -1i64), (b, -1), (a2, 1), (b2, 1)] {
+            self.counts[s] = self.counts[s].checked_add_signed(d).expect("live sample");
+            self.tree.add(s, d);
+        }
+    }
+
+    /// The forged state for one lie: fixed, or uniform over the table.
+    fn forged_state(&mut self, forged: Option<usize>) -> usize {
+        forged.unwrap_or_else(|| self.rng.gen_range(0..self.counts.len()))
     }
 
     /// One tally attempt under an adversarial scheduler: participation
@@ -314,7 +531,8 @@ impl<P: TableProtocol> BatchSimulation<P> {
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
             // Every occupied state was starved to weight zero; degrade to
-            // the uniform tally rather than stall.
+            // the uniform tally rather than stall, and surface it.
+            self.scheduler_saturated = true;
             return self.try_tally(len);
         }
 
@@ -433,14 +651,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
             while b == a && self.counts[a] < 2 {
                 b = self.sample_state_weighted(sched);
             }
-            let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
-            if (a2, b2) == (a, b) {
-                continue;
-            }
-            for (s, d) in [(a, -1i64), (b, -1), (a2, 1), (b2, 1)] {
-                self.counts[s] = self.counts[s].checked_add_signed(d).expect("live sample");
-                self.tree.add(s, d);
-            }
+            self.apply_live_interaction(a, b);
         }
     }
 
@@ -459,6 +670,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
             })
             .sum();
         if total <= 0.0 {
+            self.scheduler_saturated = true;
             return self.tree.sample(&mut self.rng);
         }
         let mut target = self.rng.gen::<f64>() * total;
@@ -598,6 +810,116 @@ impl<P: TableProtocol> BatchSimulation<P> {
         }
     }
 
+    /// Run under a steady-state churn process until `stop_at` parallel
+    /// time: after every batch, `Poisson`-distributed joins (drawn from the
+    /// `initial` distribution) and leaves (multinomial thinning of the live
+    /// counts, never below two agents) are applied and the Fenwick mirror
+    /// rebuilt; a [`ChurnSample`] is recorded each time the clock crosses a
+    /// multiple of the process's sampling period.
+    ///
+    /// Convergence does not stop a churned run; the status is
+    /// [`RunStatus::Converged`] iff the output predicate fires at
+    /// `stop_at`, and the series carries the history. Batches are never
+    /// truncated at `stop_at` (the run halts at the first batch boundary
+    /// past it), which keeps checkpointed and uninterrupted runs on the
+    /// same RNG trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or does not cover the state space.
+    pub fn run_churned(
+        &mut self,
+        opts: &RunOptions,
+        churn: &ChurnProcess,
+        initial: &[u64],
+        stop_at: f64,
+    ) -> RunResult {
+        assert_eq!(
+            initial.len(),
+            self.counts.len(),
+            "join distribution must cover the state space"
+        );
+        let initial_total: u64 = initial.iter().sum();
+        assert!(initial_total > 0, "churn needs a join distribution");
+        let mut next_mark = churn.next_mark(self.parallel_time());
+        let mut series: Vec<ChurnSample> = Vec::new();
+        while self.parallel_time() < stop_at && self.interactions < opts.max_interactions {
+            let len = draw_batch_len(&mut self.rng, self.n)
+                .min(opts.max_interactions - self.interactions);
+            self.apply_batch(len);
+            self.apply_churn_events(churn, initial, initial_total, len);
+            let clock = self.parallel_time();
+            if clock >= next_mark {
+                series.push(self.churn_sample());
+                next_mark = churn.next_mark(clock);
+            }
+        }
+        let output = self.protocol.output(&self.counts);
+        let status = if output.is_some() {
+            RunStatus::Converged
+        } else {
+            RunStatus::Exhausted
+        };
+        let mut r = self.finish(status, output);
+        r.series = series;
+        r
+    }
+
+    /// Poisson join/leave events covering a batch of `len` interactions,
+    /// applied to the counts vector in `O(S)`. The clock folds before the
+    /// population changes; leaves are per-cell capped so counts never go
+    /// negative (the multinomial thinning samples with replacement).
+    fn apply_churn_events(
+        &mut self,
+        churn: &ChurnProcess,
+        initial: &[u64],
+        initial_total: u64,
+        len: u64,
+    ) {
+        let (joins, leaves) = churn.draw_events(&mut self.rng, len);
+        let leaves = leaves.min(self.n - 2);
+        if joins == 0 && leaves == 0 {
+            return;
+        }
+        self.fold_clock();
+        let mut out = Vec::new();
+        if leaves > 0 {
+            multinomial_into(&mut self.rng, leaves, &self.counts, self.n, &mut out);
+            for (s, c) in out.drain(..) {
+                let c = c.min(self.counts[s]);
+                self.counts[s] -= c;
+                self.n -= c;
+            }
+        }
+        if joins > 0 {
+            multinomial_into(&mut self.rng, joins, initial, initial_total, &mut out);
+            for (s, c) in out {
+                self.counts[s] += c;
+            }
+            self.n += joins;
+        }
+        self.tree = Fenwick::from_weights(&self.counts);
+    }
+
+    /// The health sample `run_churned` records at each sampling mark.
+    fn churn_sample(&self) -> ChurnSample {
+        let mut tally: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for (s, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                if let Some(op) = self.protocol.opinion(s) {
+                    *tally.entry(op).or_insert(0) += c;
+                }
+            }
+        }
+        let top = tally.values().copied().max().unwrap_or(0);
+        ChurnSample {
+            t: self.parallel_time(),
+            population: self.n,
+            plurality_frac: top as f64 / self.n as f64,
+            output: self.protocol.output(&self.counts),
+        }
+    }
+
     fn finish(&self, status: RunStatus, output: Option<u32>) -> RunResult {
         RunResult {
             status,
@@ -605,6 +927,12 @@ impl<P: TableProtocol> BatchSimulation<P> {
             interactions: self.interactions,
             parallel_time: self.parallel_time(),
             faults: Vec::new(),
+            series: Vec::new(),
+            notes: if self.scheduler_saturated {
+                vec![RunNote::SchedulerSaturated]
+            } else {
+                Vec::new()
+            },
         }
     }
 }

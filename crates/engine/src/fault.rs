@@ -262,6 +262,13 @@ impl FaultRecord {
 /// many rejected draws the last candidate is accepted unconditionally.
 pub const SCHEDULER_RETRIES: u32 = 16;
 
+/// Consecutive fully-exhausted rejection loops after which the sequential
+/// engine declares the scheduler saturated (every candidate vetoed — e.g.
+/// the starved opinion is the only one left at weight 0), degrades to
+/// uniform sampling for the rest of the run, and records
+/// [`RunNote::SchedulerSaturated`](crate::RunNote).
+pub const SCHEDULER_SATURATION_STREAK: u32 = 3;
+
 /// A pair-selection bias, honored by all three engines.
 ///
 /// Schedulers are expressed over *opinions* (via
@@ -324,7 +331,11 @@ impl Scheduler for StarveScheduler {
 
     fn opinion_weight(&self, opinion: Option<u32>) -> f64 {
         if opinion == Some(self.opinion) {
-            self.weight.clamp(f64::MIN_POSITIVE, 1.0)
+            // Weight 0 is meaningful: it makes saturation (the starved
+            // opinion is the only one left, so every candidate is vetoed)
+            // reachable. The engines detect that case, degrade to uniform
+            // sampling and record `RunNote::SchedulerSaturated`.
+            self.weight.clamp(0.0, 1.0)
         } else {
             1.0
         }
@@ -347,6 +358,181 @@ impl Scheduler for PairBiasScheduler {
 
     fn assortativity(&self) -> f64 {
         self.assort.clamp(0.0, 1.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine interaction adversaries.
+
+/// A Byzantine interaction adversary: intercepts *individual* interactions
+/// and makes a bounded fraction of participants lie about their state.
+///
+/// A liar reports a forged state to its partner while keeping its own
+/// state; the honest partner transitions against the forgery. When both
+/// participants lie, neither learns anything and the interaction is a
+/// no-op. The sequential engine flips a per-agent coin for each
+/// participant; the batched engines realize the same distribution through
+/// an `O(S²)`-bounded binomial perturbation of the multinomial tally, so
+/// the `n = 10⁸` fast path stays fast.
+///
+/// Like [`Scheduler`], adversaries are declarative — a lying probability
+/// plus what the forgery is — so one adversary drives a per-agent state
+/// vector and a counts vector alike.
+pub trait Adversary: Send + Sync + fmt::Debug {
+    /// Display/manifest name (matches the [`AdversarySpec`] spelling).
+    fn describe(&self) -> String;
+
+    /// Probability in `[0, 1]` that any given participant lies.
+    fn lie_frac(&self) -> f64;
+
+    /// The opinion liars claim to hold; `None` = a uniformly random
+    /// protocol state per lie.
+    fn forged_opinion(&self) -> Option<u32>;
+}
+
+/// The standard Byzantine liar: each participant independently lies with
+/// probability `frac`, reporting either a fixed opinion or a uniformly
+/// random state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ByzantineAdversary {
+    /// Probability that any given participant lies.
+    pub frac: f64,
+    /// Forged opinion (`None` = uniformly random state per lie).
+    pub opinion: Option<u32>,
+}
+
+impl Adversary for ByzantineAdversary {
+    fn describe(&self) -> String {
+        AdversarySpec::Byzantine {
+            frac: self.frac,
+            opinion: self.opinion,
+        }
+        .to_string()
+    }
+
+    fn lie_frac(&self) -> f64 {
+        self.frac.clamp(0.0, 1.0)
+    }
+
+    fn forged_opinion(&self) -> Option<u32> {
+        self.opinion
+    }
+}
+
+/// An adversary as CLI flag and manifest entry: `byz:FRAC` (random
+/// forgeries) or `byz:FRAC:OPINION` (fixed forged opinion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversarySpec {
+    /// See [`ByzantineAdversary`].
+    Byzantine {
+        /// Probability that any given participant lies.
+        frac: f64,
+        /// Forged opinion (`None` = uniformly random state per lie).
+        opinion: Option<u32>,
+    },
+}
+
+impl AdversarySpec {
+    /// Instantiate the adversary this spec describes.
+    pub fn build(&self) -> Arc<dyn Adversary> {
+        match *self {
+            AdversarySpec::Byzantine { frac, opinion } => {
+                Arc::new(ByzantineAdversary { frac, opinion })
+            }
+        }
+    }
+}
+
+impl fmt::Display for AdversarySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AdversarySpec::Byzantine {
+                frac,
+                opinion: Some(op),
+            } => write!(f, "byz:{frac}:{op}"),
+            AdversarySpec::Byzantine {
+                frac,
+                opinion: None,
+            } => write!(f, "byz:{frac}"),
+        }
+    }
+}
+
+impl FromStr for AdversarySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("adversary '{s}' is not byz:FRAC or byz:FRAC:OPINION");
+        let parts: Vec<&str> = s.split(':').collect();
+        let frac_of = |v: &str| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|f| (0.0..=1.0).contains(f))
+                .ok_or_else(err)
+        };
+        match parts.as_slice() {
+            ["byz", frac] => Ok(AdversarySpec::Byzantine {
+                frac: frac_of(frac)?,
+                opinion: None,
+            }),
+            ["byz", frac, op] => Ok(AdversarySpec::Byzantine {
+                frac: frac_of(frac)?,
+                opinion: Some(op.parse::<u32>().map_err(|_| err())?),
+            }),
+            _ => Err(err()),
+        }
+    }
+}
+
+/// A steady-state churn process as CLI flag and manifest entry:
+/// `churn:JOIN` (leave rate = join rate) or `churn:JOIN:LEAVE`, rates in
+/// expected events per agent per unit of parallel time.
+///
+/// Distinct from the one-shot [`FaultSpec::Churn`] epoch strike
+/// (`churn@AT:FRAC`, note the `@`): this spec describes a *continuous*
+/// Poisson join/leave process driven by
+/// [`ChurnProcess`](crate::ChurnProcess).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// Expected joins per agent per unit of parallel time.
+    pub join: f64,
+    /// Expected leaves per agent per unit of parallel time.
+    pub leave: f64,
+}
+
+impl fmt::Display for ChurnSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.join == self.leave {
+            write!(f, "churn:{}", self.join)
+        } else {
+            write!(f, "churn:{}:{}", self.join, self.leave)
+        }
+    }
+}
+
+impl FromStr for ChurnSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("churn '{s}' is not churn:JOIN or churn:JOIN:LEAVE");
+        let rate_of = |v: &str| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|r| r.is_finite() && *r >= 0.0)
+                .ok_or_else(err)
+        };
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts.as_slice() {
+            ["churn", join] => {
+                let join = rate_of(join)?;
+                Ok(ChurnSpec { join, leave: join })
+            }
+            ["churn", join, leave] => Ok(ChurnSpec {
+                join: rate_of(join)?,
+                leave: rate_of(leave)?,
+            }),
+            _ => Err(err()),
+        }
     }
 }
 
@@ -426,23 +612,24 @@ impl FromStr for FaultSpec {
         let parts: Vec<&str> = rest.split(':').collect();
         let num = |v: &str| v.parse::<f64>().map_err(|_| err());
         let frac_ok = |frac: f64| (0.0..=1.0).contains(&frac);
+        let at_ok = |at: f64| at.is_finite() && at >= 0.0;
         match (kind, parts.as_slice()) {
             ("corrupt", [at, frac]) => {
                 let (at, frac) = (num(at)?, num(frac)?);
-                frac_ok(frac)
+                (frac_ok(frac) && at_ok(at))
                     .then_some(FaultSpec::Corrupt { at, frac })
                     .ok_or_else(err)
             }
             ("inject", [at, frac, opinion]) => {
                 let (at, frac) = (num(at)?, num(frac)?);
                 let opinion = opinion.parse::<u32>().map_err(|_| err())?;
-                frac_ok(frac)
+                (frac_ok(frac) && at_ok(at))
                     .then_some(FaultSpec::Inject { at, frac, opinion })
                     .ok_or_else(err)
             }
             ("churn", [at, frac]) => {
                 let (at, frac) = (num(at)?, num(frac)?);
-                frac_ok(frac)
+                (frac_ok(frac) && at_ok(at))
                     .then_some(FaultSpec::Churn { at, frac })
                     .ok_or_else(err)
             }
@@ -640,6 +827,35 @@ mod tests {
             assert_eq!(printed.parse::<SchedulerSpec>(), Ok(s), "{printed}");
             assert_eq!(s.build().describe(), printed);
         }
+
+        for s in [
+            AdversarySpec::Byzantine {
+                frac: 0.1,
+                opinion: None,
+            },
+            AdversarySpec::Byzantine {
+                frac: 0.25,
+                opinion: Some(2),
+            },
+        ] {
+            let printed = s.to_string();
+            assert_eq!(printed.parse::<AdversarySpec>(), Ok(s), "{printed}");
+            assert_eq!(s.build().describe(), printed);
+        }
+
+        for s in [
+            ChurnSpec {
+                join: 0.01,
+                leave: 0.01,
+            },
+            ChurnSpec {
+                join: 0.02,
+                leave: 0.005,
+            },
+        ] {
+            let printed = s.to_string();
+            assert_eq!(printed.parse::<ChurnSpec>(), Ok(s), "{printed}");
+        }
     }
 
     #[test]
@@ -648,7 +864,10 @@ mod tests {
             "corrupt",
             "corrupt@x:0.1",
             "corrupt@10:1.5",
+            "corrupt@-5:0.1",
+            "corrupt@inf:0.1",
             "inject@10:0.1",
+            "inject@-1:0.1:2",
             "meteor@10:0.1",
             "",
         ] {
@@ -657,6 +876,29 @@ mod tests {
         for bad in ["warp", "pairbias:2.0", "starve:1:0", "starve:1"] {
             assert!(bad.parse::<SchedulerSpec>().is_err(), "{bad:?} should fail");
         }
+        for bad in ["byz", "byz:1.5", "byz:-0.1", "byz:0.1:x", "lie:0.1", ""] {
+            assert!(bad.parse::<AdversarySpec>().is_err(), "{bad:?} should fail");
+        }
+        for bad in ["churn", "churn:-1", "churn:0.1:-2", "churn:inf", "x:0.1"] {
+            assert!(bad.parse::<ChurnSpec>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn byzantine_adversary_semantics() {
+        let a = ByzantineAdversary {
+            frac: 0.2,
+            opinion: Some(1),
+        };
+        assert_eq!(a.lie_frac(), 0.2);
+        assert_eq!(a.forged_opinion(), Some(1));
+        assert_eq!(a.describe(), "byz:0.2:1");
+        let random = ByzantineAdversary {
+            frac: 1.5,
+            opinion: None,
+        };
+        assert_eq!(random.lie_frac(), 1.0, "frac clamps into [0, 1]");
+        assert_eq!(random.describe(), "byz:1.5");
     }
 
     #[test]

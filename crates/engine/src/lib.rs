@@ -93,6 +93,8 @@
 
 pub mod batch;
 pub mod census;
+pub mod checkpoint;
+pub mod churn;
 pub mod ensemble;
 pub mod fault;
 pub mod pair;
@@ -104,11 +106,14 @@ pub mod table_seq;
 
 pub use batch::{BatchSimulation, Fenwick, PairwiseBatchSimulation, TableProtocol};
 pub use census::Census;
+pub use checkpoint::Checkpoint;
+pub use churn::ChurnProcess;
 pub use fault::{
-    Churn, Corrupt, FaultAction, FaultHook, FaultPlan, FaultRecord, FaultSpec, Inject,
-    PairBiasScheduler, Replacement, Scheduler, SchedulerSpec, StarveScheduler, UniformScheduler,
+    Adversary, AdversarySpec, ByzantineAdversary, Churn, ChurnSpec, Corrupt, FaultAction,
+    FaultHook, FaultPlan, FaultRecord, FaultSpec, Inject, PairBiasScheduler, Replacement,
+    Scheduler, SchedulerSpec, StarveScheduler, UniformScheduler,
 };
 pub use protocol::{Protocol, SimRng};
-pub use result::{RunOptions, RunResult, RunStatus};
+pub use result::{ChurnSample, RunNote, RunOptions, RunResult, RunStatus};
 pub use sim::Simulation;
 pub use table_seq::SeqTable;

@@ -11,6 +11,31 @@ pub enum RunStatus {
     Exhausted,
 }
 
+/// One sample of a run's health under steady-state churn, taken every
+/// [`ChurnProcess::sample_every`](crate::ChurnProcess) units of parallel
+/// time by the engines' `run_churned` methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSample {
+    /// Parallel time of the sample.
+    pub t: f64,
+    /// Population size at the sample (churn makes it drift).
+    pub population: u64,
+    /// Fraction of agents currently advocating the true plurality opinion.
+    pub plurality_frac: f64,
+    /// Converged output at the sample, if the predicate currently fires.
+    pub output: Option<u32>,
+}
+
+/// An out-of-band observation attached to a run — conditions worth
+/// surfacing that are neither a status nor a fault record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunNote {
+    /// A biased scheduler saturated: every candidate was vetoed (e.g. the
+    /// starved opinion was the only one left at weight 0), so pair
+    /// selection degraded to uniform instead of spinning the retry bound.
+    SchedulerSaturated,
+}
+
 /// The outcome of a [`crate::Simulation::run`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
@@ -25,12 +50,26 @@ pub struct RunResult {
     /// Recovery bookkeeping for every fault hook that fired, in firing
     /// order. Empty for clean (`run`) and empty-plan `run_faulted` runs.
     pub faults: Vec<FaultRecord>,
+    /// Time series sampled by `run_churned`, in time order. Empty for
+    /// non-churned runs.
+    pub series: Vec<ChurnSample>,
+    /// Out-of-band observations (e.g. scheduler saturation). Empty for
+    /// clean runs.
+    pub notes: Vec<RunNote>,
 }
 
 impl RunResult {
     /// `true` iff the run converged to `expected`.
     pub fn is_correct(&self, expected: u32) -> bool {
         self.status == RunStatus::Converged && self.output == Some(expected)
+    }
+
+    /// Fraction of churn samples at which the convergence predicate fired
+    /// — the "time in consensus" a soak run reports. `NaN` when the run
+    /// has no series.
+    pub fn time_in_consensus(&self) -> f64 {
+        let hits = self.series.iter().filter(|s| s.output.is_some()).count();
+        hits as f64 / self.series.len() as f64
     }
 }
 
@@ -82,6 +121,8 @@ mod tests {
             interactions: 10,
             parallel_time: 1.0,
             faults: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
         };
         assert!(!r.is_correct(1));
         let r = RunResult {
@@ -90,5 +131,35 @@ mod tests {
         };
         assert!(r.is_correct(1));
         assert!(!r.is_correct(2));
+    }
+
+    #[test]
+    fn time_in_consensus_counts_converged_samples() {
+        let sample = |t: f64, output: Option<u32>| ChurnSample {
+            t,
+            population: 100,
+            plurality_frac: 0.5,
+            output,
+        };
+        let r = RunResult {
+            status: RunStatus::Exhausted,
+            output: None,
+            interactions: 400,
+            parallel_time: 4.0,
+            faults: Vec::new(),
+            series: vec![
+                sample(1.0, None),
+                sample(2.0, Some(1)),
+                sample(3.0, Some(1)),
+                sample(4.0, None),
+            ],
+            notes: Vec::new(),
+        };
+        assert_eq!(r.time_in_consensus(), 0.5);
+        let empty = RunResult {
+            series: Vec::new(),
+            ..r
+        };
+        assert!(empty.time_in_consensus().is_nan());
     }
 }

@@ -5,12 +5,14 @@ use std::sync::Arc;
 use rand::{Rng, SeedableRng};
 
 use crate::census::Census;
+use crate::churn::ChurnProcess;
 use crate::fault::{
-    FaultAction, FaultPlan, FaultRecord, Replacement, Scheduler, SCHEDULER_RETRIES,
+    Adversary, FaultAction, FaultPlan, FaultRecord, Replacement, Scheduler, SCHEDULER_RETRIES,
+    SCHEDULER_SATURATION_STREAK,
 };
 use crate::pair::{pair_mut, sample_pair};
 use crate::protocol::{Protocol, SimRng};
-use crate::result::{RunOptions, RunResult, RunStatus};
+use crate::result::{ChurnSample, RunNote, RunOptions, RunResult, RunStatus};
 
 /// A single simulation instance: a protocol, a configuration (one state per
 /// agent) and a scheduler RNG.
@@ -20,7 +22,17 @@ pub struct Simulation<P: Protocol> {
     states: Vec<P::State>,
     rng: SimRng,
     interactions: u64,
+    /// Parallel time accumulated before `interactions_base` — non-zero only
+    /// after churn changed the population size (the clock is then no longer
+    /// `interactions / n`).
+    time_base: f64,
+    /// Interactions already folded into `time_base`.
+    interactions_base: u64,
     scheduler: Option<Arc<dyn Scheduler>>,
+    adversary: Option<Arc<dyn Adversary>>,
+    /// Consecutive fully-exhausted scheduler rejection loops.
+    starve_streak: u32,
+    scheduler_saturated: bool,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -39,7 +51,12 @@ impl<P: Protocol> Simulation<P> {
             states,
             rng: SimRng::seed_from_u64(seed),
             interactions: 0,
+            time_base: 0.0,
+            interactions_base: 0,
             scheduler: None,
+            adversary: None,
+            starve_streak: 0,
+            scheduler_saturated: false,
         }
     }
 
@@ -47,6 +64,16 @@ impl<P: Protocol> Simulation<P> {
     /// uniform hot path is untouched when no scheduler is set.
     pub fn set_scheduler(&mut self, scheduler: Arc<dyn Scheduler>) {
         self.scheduler = Some(scheduler);
+    }
+
+    /// Install a Byzantine interaction adversary. The honest hot path is
+    /// untouched (same RNG stream as [`run`](Self::run)) when none is set;
+    /// a zero lying probability is treated as no adversary, so `byz:0`
+    /// keeps RNG-identity on every engine.
+    pub fn set_adversary(&mut self, adversary: Arc<dyn Adversary>) {
+        if adversary.lie_frac() > 0.0 {
+            self.adversary = Some(adversary);
+        }
     }
 
     /// Number of agents.
@@ -59,9 +86,43 @@ impl<P: Protocol> Simulation<P> {
         self.interactions
     }
 
-    /// Interactions divided by the population size.
+    /// Parallel time: interactions divided by the population size, folded
+    /// over population changes (churn) so the clock stays continuous.
     pub fn parallel_time(&self) -> f64 {
-        self.interactions as f64 / self.n() as f64
+        self.time_base + (self.interactions - self.interactions_base) as f64 / self.n() as f64
+    }
+
+    /// The raw RNG state, for checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// The clock's checkpoint triple: `(interactions, interactions_base,
+    /// time_base)`.
+    pub fn clock_parts(&self) -> (u64, u64, f64) {
+        (self.interactions, self.interactions_base, self.time_base)
+    }
+
+    /// Restore RNG and clock from a checkpoint, making subsequent steps
+    /// replay the checkpointed run's stream exactly.
+    pub fn restore_clock(
+        &mut self,
+        interactions: u64,
+        interactions_base: u64,
+        time_base: f64,
+        rng: [u64; 4],
+    ) {
+        self.interactions = interactions;
+        self.interactions_base = interactions_base;
+        self.time_base = time_base;
+        self.rng = SimRng::from_state(rng);
+    }
+
+    /// Fold the elapsed clock into `time_base`; must be called *before*
+    /// the population size changes.
+    fn fold_clock(&mut self) {
+        self.time_base = self.parallel_time();
+        self.interactions_base = self.interactions;
     }
 
     /// The current configuration.
@@ -82,11 +143,54 @@ impl<P: Protocol> Simulation<P> {
             None => sample_pair(&mut self.rng, self.states.len()),
             Some(sched) => self.sample_pair_scheduled(&*sched),
         };
-        let t = self.interactions;
-        let (a, b) = pair_mut(&mut self.states, i, j);
-        self.protocol.interact(t, a, b, &mut self.rng);
+        match self.adversary.clone() {
+            None => {
+                let t = self.interactions;
+                let (a, b) = pair_mut(&mut self.states, i, j);
+                self.protocol.interact(t, a, b, &mut self.rng);
+            }
+            Some(adv) => self.interact_byzantine(i, j, &*adv),
+        }
         self.interactions += 1;
         (i, j)
+    }
+
+    /// One interaction under a Byzantine adversary: each participant
+    /// independently lies with the adversary's probability. A liar shows a
+    /// forged state to its partner and keeps its own state; the honest
+    /// partner transitions against the forgery. Both lying makes the
+    /// interaction a no-op (neither learns anything real). A protocol that
+    /// cannot materialize the forgery (`fault_state` returns `None`)
+    /// degrades that lie to honesty — adversaries degrade, never panic.
+    fn interact_byzantine(&mut self, i: usize, j: usize, adv: &dyn Adversary) {
+        let frac = adv.lie_frac();
+        let forged = adv
+            .forged_opinion()
+            .map_or(Replacement::Random, |op| Replacement::Opinion(op));
+        let lie = |protocol: &P, rng: &mut SimRng| -> Option<P::State> {
+            rng.gen_bool(frac)
+                .then(|| protocol.fault_state(&forged, rng))
+                .flatten()
+        };
+        let a_forgery = lie(&self.protocol, &mut self.rng);
+        let b_forgery = lie(&self.protocol, &mut self.rng);
+        let t = self.interactions;
+        match (a_forgery, b_forgery) {
+            (None, None) => {
+                let (a, b) = pair_mut(&mut self.states, i, j);
+                self.protocol.interact(t, a, b, &mut self.rng);
+            }
+            (Some(mut fake_a), None) => {
+                // Initiator lies: only the responder's transition is real.
+                self.protocol
+                    .interact(t, &mut fake_a, &mut self.states[j], &mut self.rng);
+            }
+            (None, Some(mut fake_b)) => {
+                self.protocol
+                    .interact(t, &mut self.states[i], &mut fake_b, &mut self.rng);
+            }
+            (Some(_), Some(_)) => {}
+        }
     }
 
     /// Biased pair draw: bounded rejection sampling against the
@@ -95,20 +199,40 @@ impl<P: Protocol> Simulation<P> {
     /// responder to share the initiator's opinion. All retry loops cap at
     /// [`SCHEDULER_RETRIES`] and then accept whatever is in hand —
     /// adversarial weights degrade the bias, never livelock the engine.
+    ///
+    /// A weight-0 scheduler can veto *every* candidate (the starved
+    /// opinion is the only one left). [`SCHEDULER_SATURATION_STREAK`]
+    /// consecutive fully-exhausted retry loops flip the engine into
+    /// saturated mode: pair selection degrades to uniform for the rest of
+    /// the run and the result carries
+    /// [`RunNote::SchedulerSaturated`].
     fn sample_pair_scheduled(&mut self, sched: &dyn Scheduler) -> (usize, usize) {
         let n = self.states.len();
+        if self.scheduler_saturated {
+            return sample_pair(&mut self.rng, n);
+        }
         let weight_of = |protocol: &P, state: &P::State| {
             sched
                 .opinion_weight(protocol.opinion_of(state))
                 .clamp(0.0, 1.0)
         };
         let (mut i, mut j) = sample_pair(&mut self.rng, n);
+        let mut exhausted = true;
         for _ in 0..SCHEDULER_RETRIES {
             let w = weight_of(&self.protocol, &self.states[i]);
-            if w >= 1.0 || self.rng.gen_bool(w) {
+            if w >= 1.0 || (w > 0.0 && self.rng.gen_bool(w)) {
+                exhausted = false;
                 break;
             }
             (i, j) = sample_pair(&mut self.rng, n);
+        }
+        if exhausted {
+            self.starve_streak += 1;
+            if self.starve_streak >= SCHEDULER_SATURATION_STREAK {
+                self.scheduler_saturated = true;
+            }
+        } else {
+            self.starve_streak = 0;
         }
         let assort = sched.assortativity().clamp(0.0, 1.0);
         if assort > 0.0 && self.rng.gen_bool(assort) {
@@ -320,6 +444,97 @@ impl<P: Protocol> Simulation<P> {
         }
     }
 
+    /// Run under a steady-state churn process until `stop_at` parallel
+    /// time: agents join (cloning a uniformly random state of `initial`)
+    /// and leave at the process's Poisson rates, applied after every
+    /// convergence-check stride, and a [`ChurnSample`] is recorded each
+    /// time the clock crosses a multiple of the process's sampling period.
+    ///
+    /// Convergence does not stop a churned run — the point is measuring
+    /// *how long* the run stays correct — so the result's status is
+    /// [`RunStatus::Converged`] iff the predicate fires at `stop_at`, and
+    /// the series carries the history. Strides are never truncated at
+    /// `stop_at` (the run halts at the first stride boundary past it),
+    /// which keeps checkpointed and uninterrupted runs on the same RNG
+    /// trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or the churn process would not sample.
+    pub fn run_churned(
+        &mut self,
+        opts: &RunOptions,
+        churn: &ChurnProcess,
+        initial: &[P::State],
+        stop_at: f64,
+    ) -> RunResult {
+        assert!(!initial.is_empty(), "churn needs a join distribution");
+        let mut next_mark = churn.next_mark(self.parallel_time());
+        let mut series: Vec<ChurnSample> = Vec::new();
+        while self.parallel_time() < stop_at && self.interactions < opts.max_interactions {
+            // Resolved *per stride*, not per run: the default stride is the
+            // population size, which churn changes — and a resumed run must
+            // pick the same stride the uninterrupted run would have.
+            let stride = self.check_stride(opts);
+            let steps = stride.min(opts.max_interactions - self.interactions);
+            for _ in 0..steps {
+                self.step();
+            }
+            self.apply_churn_events(churn, initial, steps);
+            let clock = self.parallel_time();
+            if clock >= next_mark {
+                series.push(self.churn_sample(opts));
+                next_mark = churn.next_mark(clock);
+            }
+        }
+        let output = self.check(opts);
+        let status = if output.is_some() {
+            RunStatus::Converged
+        } else {
+            RunStatus::Exhausted
+        };
+        let mut r = self.finish(status, output);
+        r.series = series;
+        r
+    }
+
+    /// Poisson join/leave events covering a stride of `len` interactions.
+    /// The clock folds before the population changes so parallel time
+    /// stays continuous; leaves are capped to keep at least two agents.
+    fn apply_churn_events(&mut self, churn: &ChurnProcess, initial: &[P::State], len: u64) {
+        let (joins, leaves) = churn.draw_events(&mut self.rng, len);
+        let leaves = leaves.min(self.states.len() as u64 - 2);
+        if joins == 0 && leaves == 0 {
+            return;
+        }
+        self.fold_clock();
+        for _ in 0..leaves {
+            let victim = self.rng.gen_range(0..self.states.len());
+            self.states.swap_remove(victim);
+        }
+        for _ in 0..joins {
+            let donor = self.rng.gen_range(0..initial.len());
+            self.states.push(initial[donor].clone());
+        }
+    }
+
+    /// The health sample `run_churned` records at each sampling mark.
+    fn churn_sample(&self, opts: &RunOptions) -> ChurnSample {
+        let mut tally: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for s in &self.states {
+            if let Some(op) = self.protocol.opinion_of(s) {
+                *tally.entry(op).or_insert(0) += 1;
+            }
+        }
+        let top = tally.values().copied().max().unwrap_or(0);
+        ChurnSample {
+            t: self.parallel_time(),
+            population: self.states.len() as u64,
+            plurality_frac: top as f64 / self.states.len() as f64,
+            output: self.check(opts),
+        }
+    }
+
     fn finish(&self, status: RunStatus, output: Option<u32>) -> RunResult {
         RunResult {
             status,
@@ -327,6 +542,12 @@ impl<P: Protocol> Simulation<P> {
             interactions: self.interactions,
             parallel_time: self.parallel_time(),
             faults: Vec::new(),
+            series: Vec::new(),
+            notes: if self.scheduler_saturated {
+                vec![RunNote::SchedulerSaturated]
+            } else {
+                Vec::new()
+            },
         }
     }
 

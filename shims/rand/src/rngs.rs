@@ -21,6 +21,27 @@ fn splitmix64(x: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state words, for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from [`SmallRng::state`] output.
+    ///
+    /// The all-zero state is a fixed point of xoshiro and cannot be produced
+    /// by this generator; restoring it would yield a degenerate stream, so it
+    /// is replaced the same way `seed_from_u64` guards it.
+    #[must_use]
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     fn seed_from_u64(state: u64) -> Self {
         let mut x = state;
@@ -64,6 +85,30 @@ mod tests {
         for _ in 0..10_000 {
             assert_ne!(rng.next_u64(), first, "suspicious repeat");
         }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            rng.next_u64();
+        }
+        let snapshot = rng.state();
+        let ahead: Vec<u64> = (0..32).map(|_| rng.next_u64()).collect();
+        let mut restored = SmallRng::from_state(snapshot);
+        let replay: Vec<u64> = (0..32).map(|_| restored.next_u64()).collect();
+        assert_eq!(ahead, replay);
+    }
+
+    #[test]
+    fn all_zero_state_is_rejected() {
+        // The all-zero fixed point would emit zeros forever; the guard must
+        // divert to a live stream. The first two outputs from the guard seed
+        // coincide (s3 stays 0 for one step), so check a window, not a pair.
+        let mut rng = SmallRng::from_state([0; 4]);
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! The adversarial-runtime layer: Byzantine lying adversaries, steady-state
+//! churn, and crash-safe checkpoint/restore must honor two contracts. First,
+//! *identity*: an empty adversary (zero lying fraction, or a forged opinion
+//! the protocol cannot materialize) and an absent churn process leave every
+//! engine on the exact RNG trajectory of a plain `run()`. Second,
+//! *determinism*: the same seed and the same `byz:` spec produce the same
+//! fault records on the sequential and per-pair engines, and the multinomial
+//! engine's recovery statistics stay inside the 15% cross-engine tolerance
+//! band the equivalence suite already enforces.
+
+use std::sync::Arc;
+
+use exact_plurality::engine::{
+    AdversarySpec, Checkpoint, ChurnProcess, ChurnSpec, RunNote, StarveScheduler,
+};
+use exact_plurality::majority::ThreeState;
+use exact_plurality::prelude::*;
+
+fn byz(spec: &str) -> Arc<dyn exact_plurality::engine::Adversary> {
+    spec.parse::<AdversarySpec>().expect("spec parses").build()
+}
+
+// ---------------------------------------------------------------------------
+// Identity: an adversary that never lies is no adversary at all.
+
+#[test]
+fn zero_fraction_adversary_keeps_rng_identity_on_all_engines() {
+    let opts = RunOptions::with_parallel_time_budget(1000, 5_000.0);
+    let init = vec![0u64, 700, 300];
+
+    let states = SeqTable::<ThreeState>::initial_states(&init);
+    let mut plain = Simulation::new(SeqTable::new(ThreeState), states.clone(), 11);
+    let mut byzed = Simulation::new(SeqTable::new(ThreeState), states, 11);
+    byzed.set_adversary(byz("byz:0"));
+    let (rp, rb) = (plain.run(&opts), byzed.run(&opts));
+    assert_eq!(rp.interactions, rb.interactions);
+    assert_eq!(rp.output, rb.output);
+    assert_eq!(plain.states(), byzed.states());
+
+    let mut plain = BatchSimulation::new(ThreeState, init.clone(), 11);
+    let mut byzed = BatchSimulation::new(ThreeState, init.clone(), 11);
+    byzed.set_adversary(byz("byz:0"));
+    let (rp, rb) = (plain.run(&opts), byzed.run(&opts));
+    assert_eq!(rp.interactions, rb.interactions);
+    assert_eq!(plain.counts(), byzed.counts());
+    assert_eq!(plain.rng_state(), byzed.rng_state());
+
+    let mut plain = PairwiseBatchSimulation::new(ThreeState, init.clone(), 11);
+    let mut byzed = PairwiseBatchSimulation::new(ThreeState, init, 11);
+    byzed.set_adversary(byz("byz:0"));
+    let (rp, rb) = (plain.run(&opts), byzed.run(&opts));
+    assert_eq!(rp.interactions, rb.interactions);
+    assert_eq!(plain.counts(), byzed.counts());
+    assert_eq!(plain.rng_state(), byzed.rng_state());
+}
+
+#[test]
+fn unmappable_forged_opinion_degrades_to_honesty_on_batch_engines() {
+    // Opinion 9 has no state in ThreeState's table: the snapshot disables
+    // the perturbation entirely rather than panicking mid-batch.
+    let opts = RunOptions::with_parallel_time_budget(1000, 5_000.0);
+    let init = vec![0u64, 700, 300];
+    let mut plain = BatchSimulation::new(ThreeState, init.clone(), 4);
+    let mut byzed = BatchSimulation::new(ThreeState, init, 4);
+    byzed.set_adversary(byz("byz:0.3:9"));
+    plain.run(&opts);
+    byzed.run(&opts);
+    assert_eq!(plain.counts(), byzed.counts());
+    assert_eq!(plain.rng_state(), byzed.rng_state());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine determinism of the adversary layer.
+
+#[test]
+fn fault_records_match_across_seq_and_pairwise_under_byzantine_lies() {
+    // Weak directed lying (5%, forging the majority opinion — a random
+    // forgery would re-inject minority states forever and block ThreeState's
+    // *exact* absorption predicate on every engine) around a mid-run
+    // corruption: both engines converge to A before and after the strike,
+    // so the structural record content — epoch, hook label, surrounding
+    // outputs — must agree exactly. (The recovery *durations* differ: the
+    // engines consume randomness differently.)
+    let plan = FaultPlan::from_specs(&FaultSpec::parse_list("corrupt@40:0.4").expect("plan"));
+    let opts = RunOptions::with_parallel_time_budget(1000, 5_000.0);
+    let init = vec![0u64, 700, 300];
+
+    let states = SeqTable::<ThreeState>::initial_states(&init);
+    let mut seq = Simulation::new(SeqTable::new(ThreeState), states, 21);
+    seq.set_adversary(byz("byz:0.05:1"));
+    let rs = seq.run_faulted(&opts, &plan);
+
+    let mut pw = PairwiseBatchSimulation::new(ThreeState, init, 21);
+    pw.set_adversary(byz("byz:0.05:1"));
+    let rp = pw.run_faulted(&opts, &plan);
+
+    assert_eq!(rs.faults.len(), 1);
+    assert_eq!(rp.faults.len(), 1);
+    for (a, b) in rs.faults.iter().zip(&rp.faults) {
+        assert_eq!(a.at.to_bits(), b.at.to_bits(), "strike epochs must agree");
+        assert_eq!(a.hook, b.hook);
+        assert_eq!(a.output_before, b.output_before);
+        assert_eq!(a.output_after, b.output_after);
+    }
+    assert_eq!(rs.output, rp.output);
+    assert_eq!(
+        rs.output,
+        Some(1),
+        "directed lies must not block absorption"
+    );
+}
+
+#[test]
+fn batch_recovery_times_match_pairwise_within_tolerance_under_lies() {
+    // The multinomial engine perturbs whole tallies (binomial lie splits)
+    // rather than flipping per-pair coins; its recovery-time *median* over
+    // trials must stay within the 15% band the engine-equivalence suite
+    // uses for honest runs.
+    let plan = FaultPlan::from_specs(&FaultSpec::parse_list("corrupt@20:0.5").expect("plan"));
+    let opts = RunOptions::with_parallel_time_budget(10_000, 5_000.0);
+    let init = vec![0u64, 7_000, 3_000];
+    let trials = 25u64;
+
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let mut batch_times = Vec::new();
+    let mut pairwise_times = Vec::new();
+    for seed in 0..trials {
+        let mut sim = BatchSimulation::new(ThreeState, init.clone(), seed);
+        sim.set_adversary(byz("byz:0.05:1"));
+        let r = sim.run_faulted(&opts, &plan);
+        batch_times.push(r.faults[0].recovery_time);
+
+        let mut sim = PairwiseBatchSimulation::new(ThreeState, init.clone(), seed);
+        sim.set_adversary(byz("byz:0.05:1"));
+        let r = sim.run_faulted(&opts, &plan);
+        pairwise_times.push(r.faults[0].recovery_time);
+    }
+    assert!(batch_times.iter().all(|t| t.is_finite()), "{batch_times:?}");
+    assert!(
+        pairwise_times.iter().all(|t| t.is_finite()),
+        "{pairwise_times:?}"
+    );
+    let (mb, mp) = (median(batch_times), median(pairwise_times));
+    assert!(
+        (mb - mp).abs() / mp < 0.15,
+        "batch median {mb} vs pairwise median {mp}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore: a killed-and-resumed churned run replays exactly.
+
+#[test]
+fn checkpoint_resume_reproduces_uninterrupted_churned_run_on_batch_engine() {
+    let init = vec![0u64, 7_000, 3_000];
+    let churn = ChurnProcess::new(ChurnSpec {
+        join: 0.002,
+        leave: 0.002,
+    });
+    let opts = RunOptions {
+        max_interactions: u64::MAX,
+        check_every: 0,
+    };
+
+    let mut full = BatchSimulation::new(ThreeState, init.clone(), 33);
+    let rf = full.run_churned(&opts, &churn, &init, 60.0);
+
+    let mut first = BatchSimulation::new(ThreeState, init.clone(), 33);
+    let r1 = first.run_churned(&opts, &churn, &init, 30.0);
+    let ck = Checkpoint::of_batch(&first, &init, &r1.series);
+    // Round-trip through the on-disk text format, as a real resume would.
+    let ck = Checkpoint::from_text(&ck.to_text()).expect("checkpoint parses");
+    let mut resumed = ck.restore_batch(ThreeState);
+    let r2 = resumed.run_churned(&opts, &churn, &init, 60.0);
+
+    assert_eq!(full.counts(), resumed.counts());
+    assert_eq!(full.rng_state(), resumed.rng_state());
+    assert_eq!(rf.interactions, r2.interactions);
+    let stitched: Vec<_> = ck.series.iter().chain(&r2.series).collect();
+    assert_eq!(rf.series.len(), stitched.len());
+    for (a, b) in rf.series.iter().zip(stitched) {
+        assert_eq!(a.t.to_bits(), b.t.to_bits());
+        assert_eq!(a.population, b.population);
+        assert_eq!(a.plurality_frac.to_bits(), b.plurality_frac.to_bits());
+        assert_eq!(a.output, b.output);
+    }
+}
+
+#[test]
+fn checkpoint_resume_reproduces_uninterrupted_churned_run_on_seq_engine() {
+    let init = vec![0u64, 700, 300];
+    let states = SeqTable::<ThreeState>::initial_states(&init);
+    let churn = ChurnProcess::new(ChurnSpec {
+        join: 0.005,
+        leave: 0.005,
+    });
+    let opts = RunOptions {
+        max_interactions: u64::MAX,
+        check_every: 0,
+    };
+
+    let mut full = Simulation::new(SeqTable::new(ThreeState), states.clone(), 8);
+    let rf = full.run_churned(&opts, &churn, &states, 40.0);
+
+    let mut first = Simulation::new(SeqTable::new(ThreeState), states.clone(), 8);
+    let r1 = first.run_churned(&opts, &churn, &states, 20.0);
+    let ck = Checkpoint::of_seq(&first, &init, &r1.series);
+    let ck = Checkpoint::from_text(&ck.to_text()).expect("checkpoint parses");
+    let mut resumed = ck.restore_seq(ThreeState);
+    let r2 = resumed.run_churned(&opts, &churn, &states, 40.0);
+
+    assert_eq!(full.states(), resumed.states());
+    assert_eq!(rf.interactions, r2.interactions);
+    assert_eq!(rf.series.len(), ck.series.len() + r2.series.len());
+}
+
+#[test]
+fn churn_never_drains_the_population_below_two() {
+    // A leave-heavy process must cap at the two-agent floor instead of
+    // underflowing the engine's pair sampler.
+    let init = vec![0u64, 30, 20];
+    let churn = ChurnProcess::new(ChurnSpec {
+        join: 0.0,
+        leave: 0.5,
+    });
+    let opts = RunOptions {
+        max_interactions: u64::MAX,
+        check_every: 0,
+    };
+    let mut sim = BatchSimulation::new(ThreeState, init.clone(), 2);
+    let r = sim.run_churned(&opts, &churn, &init, 200.0);
+    assert!(sim.n() >= 2, "population drained to {}", sim.n());
+    assert!(r.series.iter().all(|s| s.population >= 2));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler saturation is surfaced, not silently spun.
+
+/// Two states, both opinion 1, never converging: the only population a
+/// weight-0 starve scheduler can fully veto.
+#[derive(Debug, Clone)]
+struct Monotone;
+impl TableProtocol for Monotone {
+    fn states(&self) -> usize {
+        2
+    }
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+    fn delta(&self, a: usize, b: usize, _rng: &mut SimRng) -> (usize, usize) {
+        (a, b)
+    }
+    fn output(&self, _counts: &[u64]) -> Option<u32> {
+        None
+    }
+    fn opinion(&self, _s: usize) -> Option<u32> {
+        Some(1)
+    }
+}
+
+#[test]
+fn weight_zero_starvation_saturates_with_a_note_on_all_engines() {
+    let sched = Arc::new(StarveScheduler {
+        opinion: 1,
+        weight: 0.0,
+    });
+    let opts = RunOptions {
+        max_interactions: 2_000,
+        check_every: 0,
+    };
+
+    let states = SeqTable::<Monotone>::initial_states(&[5, 5]);
+    let mut seq = Simulation::new(SeqTable::new(Monotone), states, 1);
+    seq.set_scheduler(sched.clone());
+    let r = seq.run(&opts);
+    assert_eq!(r.status, RunStatus::Exhausted);
+    assert!(r.notes.contains(&RunNote::SchedulerSaturated), "{r:?}");
+
+    let mut batch = BatchSimulation::new(Monotone, vec![5, 5], 1);
+    batch.set_scheduler(sched.clone());
+    let r = batch.run(&opts);
+    assert_eq!(r.status, RunStatus::Exhausted);
+    assert!(r.notes.contains(&RunNote::SchedulerSaturated), "{r:?}");
+
+    let mut pw = PairwiseBatchSimulation::new(Monotone, vec![5, 5], 1);
+    pw.set_scheduler(sched);
+    let r = pw.run(&opts);
+    assert_eq!(r.status, RunStatus::Exhausted);
+    assert!(r.notes.contains(&RunNote::SchedulerSaturated), "{r:?}");
+}
+
+#[test]
+fn partial_starvation_stays_unsaturated() {
+    // A survivable weight must never flip the saturation note: the run
+    // converges and the notes stay empty.
+    let sched: SchedulerSpec = "starve:2:0.25".parse().expect("scheduler parses");
+    let init = vec![0u64, 700, 300];
+    let mut sim = BatchSimulation::new(ThreeState, init, 6);
+    sim.set_scheduler(sched.build());
+    let r = sim.run(&RunOptions::with_parallel_time_budget(1000, 5_000.0));
+    assert!(r.notes.is_empty(), "{r:?}");
+}

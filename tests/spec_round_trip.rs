@@ -1,0 +1,136 @@
+//! Property tests for the CLI/manifest spec grammars.
+//!
+//! Every fault-layer knob is a `Display`/`FromStr` pair — `--faults`,
+//! `--scheduler`, `--adversary`, `--churn` and the run manifest all speak
+//! the same spellings — so the printed form of any valid spec must parse
+//! back to the identical value, and malformed spellings (fractions above
+//! one, negative times, unknown kinds) must come back as `Err` usage
+//! messages, never panics.
+
+use exact_plurality::engine::{AdversarySpec, ChurnSpec, FaultSpec, SchedulerSpec};
+use proptest::prelude::*;
+
+/// Map an integer draw to a fraction in `[0, 1]` with a printable decimal.
+fn frac(m: u32) -> f64 {
+    f64::from(m) / 1000.0
+}
+
+proptest! {
+    #[test]
+    fn fault_specs_round_trip(
+        kind in 0u8..3,
+        at_m in 0u32..100_000,
+        frac_m in 0u32..=1000,
+        opinion in 0u32..10,
+    ) {
+        let at = f64::from(at_m) / 10.0;
+        let frac = frac(frac_m);
+        let spec = match kind {
+            0 => FaultSpec::Corrupt { at, frac },
+            1 => FaultSpec::Inject { at, frac, opinion },
+            _ => FaultSpec::Churn { at, frac },
+        };
+        let printed = spec.to_string();
+        prop_assert_eq!(printed.parse::<FaultSpec>(), Ok(spec));
+        // The list grammar accepts what the scalar grammar accepts.
+        prop_assert_eq!(FaultSpec::parse_list(&printed), Ok(vec![spec]));
+    }
+
+    #[test]
+    fn scheduler_specs_round_trip(
+        kind in 0u8..3,
+        opinion in 0u32..10,
+        weight_m in 1u32..=1000,
+        assort_m in 0u32..=1000,
+    ) {
+        let spec = match kind {
+            0 => SchedulerSpec::Uniform,
+            1 => SchedulerSpec::PairBias { assort: frac(assort_m) },
+            _ => SchedulerSpec::Starve { opinion, weight: frac(weight_m) },
+        };
+        let printed = spec.to_string();
+        prop_assert_eq!(printed.parse::<SchedulerSpec>(), Ok(spec));
+    }
+
+    #[test]
+    fn adversary_specs_round_trip(
+        frac_m in 0u32..=1000,
+        has_opinion in 0u8..2,
+        opinion in 0u32..10,
+    ) {
+        let spec = AdversarySpec::Byzantine {
+            frac: frac(frac_m),
+            opinion: (has_opinion == 1).then_some(opinion),
+        };
+        let printed = spec.to_string();
+        prop_assert_eq!(printed.parse::<AdversarySpec>(), Ok(spec));
+    }
+
+    #[test]
+    fn churn_specs_round_trip(join_m in 0u32..=10_000, leave_m in 0u32..=10_000) {
+        let spec = ChurnSpec {
+            join: frac(join_m),
+            leave: frac(leave_m),
+        };
+        let printed = spec.to_string();
+        // `churn:R` folds the symmetric case — both spellings must parse
+        // back to the same pair of rates.
+        prop_assert_eq!(printed.parse::<ChurnSpec>(), Ok(spec));
+    }
+}
+
+#[test]
+fn malformed_specs_are_usage_errors_not_panics() {
+    // Fractions above one, negative times/rates, unknown kinds, trailing
+    // or missing fields: every one must yield Err, never a panic, and the
+    // message must echo the offending input so the CLI error names it.
+    let bad_faults = [
+        "corrupt@50:1.5",
+        "corrupt@-3:0.1",
+        "corrupt@nan:0.1",
+        "inject@50:0.1",
+        "inject@50:0.1:2:9",
+        "churn@50:-0.1",
+        "meteor@9:0.1",
+        "corrupt@50",
+        "",
+    ];
+    for bad in bad_faults {
+        assert!(bad.parse::<FaultSpec>().is_err(), "{bad:?} should fail");
+    }
+    assert!(FaultSpec::parse_list("corrupt@50:0.1,meteor@9:0.1").is_err());
+
+    let bad_schedulers = [
+        "starve:1:0",
+        "starve:1:1.5",
+        "pairbias:2",
+        "chaotic",
+        "uniform:1",
+    ];
+    for bad in bad_schedulers {
+        assert!(bad.parse::<SchedulerSpec>().is_err(), "{bad:?} should fail");
+    }
+
+    let bad_adversaries = [
+        "byz:1.5",
+        "byz:-0.1",
+        "byz",
+        "byz:0.1:2:3",
+        "byz:0.1:-2",
+        "sybil:0.1",
+    ];
+    for bad in bad_adversaries {
+        assert!(bad.parse::<AdversarySpec>().is_err(), "{bad:?} should fail");
+    }
+
+    let bad_churn = [
+        "churn:-1",
+        "churn:inf",
+        "churn:0.1:-0.2",
+        "churn",
+        "drizzle:0.1",
+    ];
+    for bad in bad_churn {
+        assert!(bad.parse::<ChurnSpec>().is_err(), "{bad:?} should fail");
+    }
+}
