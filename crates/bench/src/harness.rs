@@ -75,9 +75,14 @@ Common experiment flags:
   --faults SPEC[,SPEC..]     fault hooks, e.g. corrupt@50:0.1 inject@50:0.1:2
                              churn@50:0.05 (overrides scenario defaults)
   --scheduler SPEC           scheduler: uniform, starve:OP:W, pairbias:A
-  --adversary SPEC           Byzantine liars: byz:FRAC or byz:FRAC:OPINION
+  --adversary SPEC           Byzantine liars: byz:FRAC, byz:FRAC:OPINION, or
+                             census-driven adaptive:FRAC[:STRATEGY] with
+                             STRATEGY one of boost-runnerup (default),
+                             suppress-leader, split
   --churn SPEC               steady-state churn: churn:JOIN or churn:JOIN:LEAVE
-                             (rates per agent per unit parallel time)
+                             (rates per agent per unit parallel time); add
+                             :plurality or :minority to aim departures at the
+                             leading/weakest opinion class
   --checkpoint-every T       write an engine checkpoint every T parallel time
                              (checkpoint-capable scenarios only)
   --resume FILE              resume a checkpoint-capable scenario from FILE
@@ -300,7 +305,20 @@ mod tests {
                     == Some(ChurnSpec {
                         join: 0.02,
                         leave: 0.01,
+                        ..ChurnSpec::default()
                     })
+            }),
+            (&["--adversary", "adaptive:0.1"], |o, _| {
+                o.adversary.map(|a| a.to_string()) == Some("adaptive:0.1:boost-runnerup".into())
+            }),
+            (&["--adversary", "adaptive:0.05:split"], |o, _| {
+                o.adversary.map(|a| a.to_string()) == Some("adaptive:0.05:split".into())
+            }),
+            (&["--churn", "churn:0.01:0.02:plurality"], |o, _| {
+                o.churn.map(|c| c.to_string()) == Some("churn:0.01:0.02:plurality".into())
+            }),
+            (&["--churn", "churn:0:0.01:minority"], |o, _| {
+                o.churn.map(|c| c.to_string()) == Some("churn:0:0.01:minority".into())
             }),
             (&["--checkpoint-every", "25"], |o, _| {
                 o.checkpoint_every == Some(25.0)
@@ -330,6 +348,11 @@ mod tests {
             (&["--adversary", "sybil:0.1"], "sybil:0.1"),
             (&["--churn", "churn:-1"], "churn:-1"),
             (&["--churn", "drizzle:0.1"], "drizzle:0.1"),
+            (&["--adversary", "adaptive:0.1:warp"], "adaptive:0.1:warp"),
+            (
+                &["--churn", "churn:0.1:0.1:everyone"],
+                "churn:0.1:0.1:everyone",
+            ),
             (&["--checkpoint-every", "0"], "must be positive"),
             (&["--checkpoint-every", "-3"], "must be positive"),
             (&["--resume"], "--resume requires a value"),

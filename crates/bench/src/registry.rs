@@ -14,7 +14,7 @@ use crate::scenarios;
 use crate::sink::Sink;
 
 /// All registered scenarios, in run order.
-static SCENARIOS: [Scenario; 21] = [
+static SCENARIOS: [Scenario; 24] = [
     scenarios::x01::SCENARIO,
     scenarios::x02::SCENARIO,
     scenarios::x03::SCENARIO,
@@ -36,6 +36,9 @@ static SCENARIOS: [Scenario; 21] = [
     scenarios::x20::SCENARIO,
     scenarios::x21::SCENARIO,
     scenarios::x22::SCENARIO,
+    scenarios::x23::SCENARIO,
+    scenarios::x24::SCENARIO,
+    scenarios::x25::SCENARIO,
 ];
 
 /// The registered scenarios.
@@ -115,13 +118,13 @@ mod tests {
 
     #[test]
     fn registry_round_trip() {
-        // The acceptance contract: 21 scenarios, unique names/slugs, each
+        // The acceptance contract: 24 scenarios, unique names/slugs, each
         // findable under both handles, list output naming all of them.
-        assert_eq!(scenarios().len(), 21);
+        assert_eq!(scenarios().len(), 24);
         let mut names: Vec<&str> = scenarios().iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21, "duplicate scenario names");
+        assert_eq!(names.len(), 24, "duplicate scenario names");
         let lines = list_lines();
         for s in scenarios() {
             assert!(std::ptr::eq(find(s.name).expect("find by name"), s));

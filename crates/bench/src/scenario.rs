@@ -297,6 +297,16 @@ pub struct ColSpec {
 /// Column constructors for [`Study`] output schemas.
 pub mod col {
     use super::{ColSpec, PointRun};
+    use pp_engine::ChurnSample;
+
+    /// Integrated consensus fraction of a churn-soak series, formatted for
+    /// a CSV cell: the fraction of samples at which the exact predicate
+    /// fired, `NaN` on an empty series. Soak scenarios (x22, x24) drive
+    /// the engines by hand and stitch series across checkpoint segments,
+    /// so this is a value helper rather than a [`ColSpec`].
+    pub fn time_in_consensus(series: &[ChurnSample]) -> String {
+        format!("{:.4}", pp_engine::result::time_in_consensus(series))
+    }
 
     /// A column from a header and a formatter.
     pub fn derived(

@@ -34,6 +34,9 @@ pub mod x19;
 pub mod x20;
 pub mod x21;
 pub mod x22;
+pub mod x23;
+pub mod x24;
+pub mod x25;
 
 /// The shared USD baseline arm for the scaling experiments (x01/x04):
 /// undecided-state dynamics on the same bias-1 inputs, extended to

@@ -25,7 +25,7 @@ use pp_engine::{
 use pp_majority::ThreeState;
 use pp_stats::Table;
 
-use crate::scenario::{Ctx, Scenario};
+use crate::scenario::{col, Ctx, Scenario};
 
 /// The registered scenario.
 pub const SCENARIO: Scenario = Scenario {
@@ -42,6 +42,7 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
     let spec = ctx.opts.churn.unwrap_or(ChurnSpec {
         join: 0.005,
         leave: 0.005,
+        ..ChurnSpec::default()
     });
     let churn = ChurnProcess::new(spec);
     // 2:1 support over {blank, A, B} — joins re-draw from this forever,
@@ -65,7 +66,7 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
                     ck.series.len()
                 );
             }
-            (ck.restore_batch(ThreeState), ck.series)
+            (ck.restore_batch(ThreeState)?, ck.series)
         }
         None => (
             BatchSimulation::new(ThreeState, init.clone(), rng::derive(ctx.opts.seed, 2_200)),
@@ -148,7 +149,6 @@ fn summary_table(
     );
     let samples = series.len();
     let mean_frac = series.iter().map(|s| s.plurality_frac).sum::<f64>() / samples as f64;
-    let in_consensus = series.iter().filter(|s| s.output.is_some()).count();
     t.push(vec![
         n.to_string(),
         format!("{horizon}"),
@@ -157,7 +157,7 @@ fn summary_table(
         samples.to_string(),
         sim.counts().iter().sum::<u64>().to_string(),
         format!("{mean_frac:.4}"),
-        format!("{:.4}", in_consensus as f64 / samples as f64),
+        col::time_in_consensus(series),
     ]);
     t
 }

@@ -17,7 +17,10 @@ use crate::batch::birthday::draw_batch_len_walk;
 use crate::batch::multinomial::poisson;
 use crate::batch::TableProtocol;
 use crate::churn::ChurnProcess;
-use crate::fault::{strike_counts, Adversary, FaultPlan, FaultRecord, Scheduler};
+use crate::fault::{
+    resolve_forgery, strike_counts, Adversary, ChurnTarget, FaultPlan, FaultRecord, LieTarget,
+    OpinionCensus, Scheduler,
+};
 use crate::protocol::SimRng;
 use crate::result::{ChurnSample, RunNote, RunOptions, RunResult, RunStatus};
 
@@ -36,9 +39,11 @@ pub struct PairwiseBatchSimulation<P: TableProtocol> {
     /// Interactions already folded into `time_base`.
     interactions_base: u64,
     scheduler: Option<Arc<dyn Scheduler>>,
-    /// Adversary snapshot: `(lie probability, forged state — `None` =
-    /// uniformly random per lie)`.
-    lie: Option<(f64, Option<usize>)>,
+    /// Adversary snapshot: `(lie probability, what liars report)`.
+    lie: Option<(f64, LieTarget)>,
+    /// Retained only for *adaptive* adversaries, whose `lie` snapshot is
+    /// re-aimed at the live census before every batch.
+    adversary: Option<Arc<dyn Adversary>>,
     scheduler_saturated: bool,
 }
 
@@ -67,6 +72,7 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
             interactions_base: 0,
             scheduler: None,
             lie: None,
+            adversary: None,
             scheduler_saturated: false,
         }
     }
@@ -81,14 +87,39 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
     /// with no state in this protocol's table degrades to honesty.
     pub fn set_adversary(&mut self, adversary: Arc<dyn Adversary>) {
         let frac = adversary.lie_frac();
-        self.lie = if frac <= 0.0 {
-            None
+        if frac <= 0.0 {
+            return;
+        }
+        if adversary.adaptive() {
+            self.adversary = Some(adversary);
+            self.refresh_lie();
         } else {
-            match adversary.forged_opinion() {
-                None => Some((frac, None)),
-                Some(op) => self.protocol.opinion_state(op).map(|s| (frac, Some(s))),
-            }
+            self.lie =
+                resolve_forgery(&self.protocol, adversary.forgery(&OpinionCensus::default()))
+                    .map(|t| (frac, t));
+        }
+    }
+
+    /// The live opinion tally in `O(S)`, for adaptive forgeries and
+    /// targeted churn.
+    fn opinion_census(&self) -> OpinionCensus {
+        OpinionCensus::from_tallies(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter_map(|(s, &c)| self.protocol.opinion(s).map(|op| (op, c))),
+        )
+    }
+
+    /// Re-aim an adaptive adversary's lie snapshot at the live census once
+    /// per batch. Draws no randomness; a no-op when no adaptive adversary
+    /// is installed.
+    fn refresh_lie(&mut self) {
+        let Some(adv) = self.adversary.clone() else {
+            return;
         };
+        self.lie = resolve_forgery(&self.protocol, adv.forgery(&self.opinion_census()))
+            .map(|t| (adv.lie_frac(), t));
     }
 
     /// Build the configuration from per-agent states.
@@ -229,6 +260,7 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
     /// Apply `len` interactions one pair at a time, honoring the scheduler
     /// if one is set.
     fn apply_len(&mut self, len: u64) {
+        self.refresh_lie();
         let sched = self.scheduler.clone();
         let assort = sched
             .as_deref()
@@ -279,12 +311,21 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
         a: usize,
         b: usize,
         frac: f64,
-        forged: Option<usize>,
+        forged: LieTarget,
     ) -> (usize, usize) {
         let a_lies = self.rng.gen_bool(frac);
         let b_lies = self.rng.gen_bool(frac);
-        let forge =
-            |rng: &mut SimRng, states: usize| forged.unwrap_or_else(|| rng.gen_range(0..states));
+        let forge = |rng: &mut SimRng, states: usize| match forged {
+            LieTarget::Fixed(f) => f,
+            LieTarget::Pair(x, y) => {
+                if rng.gen_bool(0.5) {
+                    x
+                } else {
+                    y
+                }
+            }
+            LieTarget::Random => rng.gen_range(0..states),
+        };
         let states = self.counts.len();
         match (a_lies, b_lies) {
             (true, true) => (a, b),
@@ -458,8 +499,22 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
             return;
         }
         self.fold_clock();
+        // Uniform-target departures keep the exact per-draw RNG sequence
+        // from before targeting existed; targeted departures draw from the
+        // census-chosen opinion class, falling back to a uniform draw when
+        // the class runs dry.
+        let want = match spec.target {
+            ChurnTarget::Uniform => None,
+            ChurnTarget::Plurality => self.opinion_census().leader(),
+            ChurnTarget::Minority => self.opinion_census().weakest(),
+        };
         for _ in 0..leaves {
-            let victim = self.sample_state();
+            let victim = match want {
+                None => self.sample_state(),
+                Some(op) => self
+                    .sample_state_in_class(Some(op))
+                    .unwrap_or_else(|| self.sample_state()),
+            };
             self.counts[victim] -= 1;
             self.n -= 1;
         }

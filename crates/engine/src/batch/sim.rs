@@ -9,7 +9,10 @@ use crate::batch::fenwick::Fenwick;
 use crate::batch::multinomial::{binomial, multinomial_into, multinomial_weighted_into};
 use crate::batch::TableProtocol;
 use crate::churn::ChurnProcess;
-use crate::fault::{strike_counts, Adversary, FaultPlan, FaultRecord, Scheduler};
+use crate::fault::{
+    resolve_forgery, strike_counts, Adversary, ChurnTarget, FaultPlan, FaultRecord, LieTarget,
+    OpinionCensus, Scheduler,
+};
 use crate::protocol::SimRng;
 use crate::result::{ChurnSample, RunNote, RunOptions, RunResult, RunStatus};
 
@@ -61,11 +64,15 @@ pub struct BatchSimulation<P: TableProtocol> {
     /// a state than exist).
     usage: Vec<u64>,
     scheduler: Option<Arc<dyn Scheduler>>,
-    /// Adversary snapshot for the current batch: `(lie probability, forged
-    /// state — `None` = uniformly random per lie)`. `None` when no
-    /// adversary applies (also when the forged opinion has no state in
-    /// this protocol's table: adversaries degrade, never panic).
-    lie: Option<(f64, Option<usize>)>,
+    /// Adversary snapshot for the current batch: `(lie probability, what
+    /// liars report)`. `None` when no adversary applies (also when the
+    /// forged opinion has no state in this protocol's table: adversaries
+    /// degrade, never panic).
+    lie: Option<(f64, LieTarget)>,
+    /// Retained only for *adaptive* adversaries, whose `lie` snapshot is
+    /// re-aimed at the live census before every batch; static adversaries
+    /// resolve once at install and are not stored.
+    adversary: Option<Arc<dyn Adversary>>,
     scheduler_saturated: bool,
 }
 
@@ -103,6 +110,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
             usage: vec![0; states],
             scheduler: None,
             lie: None,
+            adversary: None,
             scheduler_saturated: false,
         }
     }
@@ -114,23 +122,53 @@ impl<P: TableProtocol> BatchSimulation<P> {
     }
 
     /// Install a Byzantine interaction adversary. The honest tally fast
-    /// path (and its RNG stream) is untouched when none is set.
+    /// path (and its RNG stream) is untouched when none is set; a zero
+    /// lying probability disables the adversary entirely, so `adaptive:0`
+    /// stays RNG-identical to the clean run.
     pub fn set_adversary(&mut self, adversary: Arc<dyn Adversary>) {
-        self.lie = Self::lie_snapshot(&self.protocol, &*adversary);
+        if adversary.lie_frac() <= 0.0 {
+            return;
+        }
+        if adversary.adaptive() {
+            self.adversary = Some(adversary);
+            self.refresh_lie();
+        } else {
+            self.lie = Self::lie_snapshot(&self.protocol, &*adversary);
+        }
     }
 
-    /// Resolve an adversary to the per-batch `(frac, forged state)`
-    /// snapshot. A fixed forged opinion with no state in the table, or a
-    /// zero lying probability, disables the perturbation entirely.
-    fn lie_snapshot(protocol: &P, adv: &dyn Adversary) -> Option<(f64, Option<usize>)> {
+    /// Resolve a static adversary to the `(frac, lie target)` snapshot. A
+    /// fixed forged opinion with no state in the table, or a zero lying
+    /// probability, disables the perturbation entirely.
+    fn lie_snapshot(protocol: &P, adv: &dyn Adversary) -> Option<(f64, LieTarget)> {
         let frac = adv.lie_frac();
         if frac <= 0.0 {
             return None;
         }
-        match adv.forged_opinion() {
-            None => Some((frac, None)),
-            Some(op) => protocol.opinion_state(op).map(|s| (frac, Some(s))),
-        }
+        resolve_forgery(protocol, adv.forgery(&OpinionCensus::default())).map(|t| (frac, t))
+    }
+
+    /// The live opinion tally in `O(S)`, for adaptive forgeries and
+    /// targeted churn.
+    fn opinion_census(&self) -> OpinionCensus {
+        OpinionCensus::from_tallies(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter_map(|(s, &c)| self.protocol.opinion(s).map(|op| (op, c))),
+        )
+    }
+
+    /// Re-aim an adaptive adversary's lie snapshot at the live census —
+    /// `O(S)` once per batch, so the `n = 10⁸` throughput is untouched.
+    /// Draws no randomness, preserving the replay contract; a no-op when
+    /// no adaptive adversary is installed.
+    fn refresh_lie(&mut self) {
+        let Some(adv) = self.adversary.clone() else {
+            return;
+        };
+        self.lie = resolve_forgery(&self.protocol, adv.forgery(&self.opinion_census()))
+            .map(|t| (adv.lie_frac(), t));
     }
 
     /// Build the configuration from per-agent states.
@@ -215,6 +253,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
     /// draw overdrew a nearly-empty state) are redrawn; after
     /// [`MAX_TALLY_RETRIES`] misses the batch is applied pair by pair.
     fn apply_batch(&mut self, len: u64) {
+        self.refresh_lie();
         match self.scheduler.clone() {
             None => {
                 for _ in 0..MAX_TALLY_RETRIES {
@@ -357,7 +396,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
     ///
     /// Usage is charged to the *real* participants of every share
     /// (liars still occupy their slot in the collision-free batch).
-    fn accumulate_byz(&mut self, a: usize, b: usize, m: u64, frac: f64, forged: Option<usize>) {
+    fn accumulate_byz(&mut self, a: usize, b: usize, m: u64, frac: f64, forged: LieTarget) {
         self.usage[a] += m;
         self.usage[b] += m;
         let m_a_lies = binomial(&mut self.rng, m, frac);
@@ -395,22 +434,32 @@ impl<P: TableProtocol> BatchSimulation<P> {
     }
 
     /// `m` interactions where exactly one participant of the ordered pair
-    /// `(a, b)` lies: `a` when `a_lies`, else `b`. Random forgeries
-    /// (`forged == None`) spread the mass multinomially over the `S`
-    /// uniform forged states.
-    fn one_sided(&mut self, a: usize, b: usize, m: u64, forged: Option<usize>, a_lies: bool) {
+    /// `(a, b)` lies: `a` when `a_lies`, else `b`. Random forgeries spread
+    /// the mass multinomially over the `S` uniform forged states; a
+    /// [`LieTarget::Pair`] (the polarizing split forgery) halves the mass
+    /// binomially between its two states.
+    fn one_sided(&mut self, a: usize, b: usize, m: u64, forged: LieTarget, a_lies: bool) {
         if m == 0 {
             return;
         }
         match forged {
-            Some(f) => self.one_sided_fixed(a, b, m, f, a_lies),
-            None => {
+            LieTarget::Fixed(f) => self.one_sided_fixed(a, b, m, f, a_lies),
+            LieTarget::Random => {
                 let states = self.counts.len();
                 let uniform = vec![1u64; states];
                 let mut shares = Vec::new();
                 multinomial_into(&mut self.rng, m, &uniform, states as u64, &mut shares);
                 for (f, mf) in shares {
                     self.one_sided_fixed(a, b, mf, f, a_lies);
+                }
+            }
+            LieTarget::Pair(x, y) => {
+                let mx = binomial(&mut self.rng, m, 0.5);
+                if mx > 0 {
+                    self.one_sided_fixed(a, b, mx, x, a_lies);
+                }
+                if m - mx > 0 {
+                    self.one_sided_fixed(a, b, m - mx, y, a_lies);
                 }
             }
         }
@@ -502,9 +551,20 @@ impl<P: TableProtocol> BatchSimulation<P> {
         }
     }
 
-    /// The forged state for one lie: fixed, or uniform over the table.
-    fn forged_state(&mut self, forged: Option<usize>) -> usize {
-        forged.unwrap_or_else(|| self.rng.gen_range(0..self.counts.len()))
+    /// The forged state for one lie: fixed, a fair pick from a split
+    /// pair, or uniform over the table.
+    fn forged_state(&mut self, forged: LieTarget) -> usize {
+        match forged {
+            LieTarget::Fixed(f) => f,
+            LieTarget::Pair(a, b) => {
+                if self.rng.gen_bool(0.5) {
+                    a
+                } else {
+                    b
+                }
+            }
+            LieTarget::Random => self.rng.gen_range(0..self.counts.len()),
+        }
     }
 
     /// One tally attempt under an adversarial scheduler: participation
@@ -869,6 +929,11 @@ impl<P: TableProtocol> BatchSimulation<P> {
     /// applied to the counts vector in `O(S)`. The clock folds before the
     /// population changes; leaves are per-cell capped so counts never go
     /// negative (the multinomial thinning samples with replacement).
+    ///
+    /// Uniform-target departures keep the exact RNG draw sequence from
+    /// before targeting existed; targeted departures thin the
+    /// census-chosen opinion class first (a class-masked multinomial) and
+    /// any remainder falls back to the uniform thinning.
     fn apply_churn_events(
         &mut self,
         churn: &ChurnProcess,
@@ -883,8 +948,43 @@ impl<P: TableProtocol> BatchSimulation<P> {
         }
         self.fold_clock();
         let mut out = Vec::new();
-        if leaves > 0 {
-            multinomial_into(&mut self.rng, leaves, &self.counts, self.n, &mut out);
+        let mut remaining = leaves;
+        if remaining > 0 && churn.target() != ChurnTarget::Uniform {
+            let census = self.opinion_census();
+            let want = match churn.target() {
+                ChurnTarget::Uniform => None,
+                ChurnTarget::Plurality => census.leader(),
+                ChurnTarget::Minority => census.weakest(),
+            };
+            // An opinion-free census degrades to uniform departures.
+            if let Some(want) = want {
+                let class: Vec<u64> = self
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &c)| {
+                        if self.protocol.opinion(s) == Some(want) {
+                            c
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                let class_total: u64 = class.iter().sum();
+                let k = remaining.min(class_total);
+                if k > 0 {
+                    multinomial_into(&mut self.rng, k, &class, class_total, &mut out);
+                    for (s, c) in out.drain(..) {
+                        let c = c.min(self.counts[s]);
+                        self.counts[s] -= c;
+                        self.n -= c;
+                        remaining -= c;
+                    }
+                }
+            }
+        }
+        if remaining > 0 {
+            multinomial_into(&mut self.rng, remaining, &self.counts, self.n, &mut out);
             for (s, c) in out.drain(..) {
                 let c = c.min(self.counts[s]);
                 self.counts[s] -= c;

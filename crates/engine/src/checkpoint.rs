@@ -118,14 +118,51 @@ impl Checkpoint {
         }
     }
 
+    /// Check the snapshot against the engine and protocol it is being
+    /// restored into, so a mismatched or hand-corrupted file surfaces as an
+    /// error instead of tripping an engine-constructor assertion.
+    fn check_restore(&self, engine: &str, states: usize) -> io::Result<()> {
+        let bad = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+        if self.engine != engine {
+            return Err(bad(format!(
+                "checkpoint holds a '{}' snapshot, not '{engine}'",
+                self.engine
+            )));
+        }
+        if self.counts.len() != states {
+            return Err(bad(format!(
+                "checkpoint has {} states, protocol has {states}",
+                self.counts.len()
+            )));
+        }
+        let n: u64 = self.counts.iter().sum();
+        if n < 2 {
+            return Err(bad(format!("checkpoint population {n} is below 2")));
+        }
+        if engine == "seq" {
+            if self.states.len() as u64 != n {
+                return Err(bad(format!(
+                    "checkpoint agent vector ({}) disagrees with counts ({n})",
+                    self.states.len()
+                )));
+            }
+            if let Some(&s) = self.states.iter().find(|&&s| s as usize >= states) {
+                return Err(bad(format!(
+                    "checkpoint agent state {s} is outside the protocol's 0..{states}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Rebuild a batched engine at the snapshot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the snapshot is not a `batch` one or the protocol's state
-    /// space does not match the stored counts.
-    pub fn restore_batch<P: TableProtocol>(&self, protocol: P) -> BatchSimulation<P> {
-        assert_eq!(self.engine, "batch", "engine tag mismatch");
+    /// `InvalidData` if the snapshot is not a `batch` one or disagrees with
+    /// the protocol's state space.
+    pub fn restore_batch<P: TableProtocol>(&self, protocol: P) -> io::Result<BatchSimulation<P>> {
+        self.check_restore("batch", protocol.states())?;
         let mut sim = BatchSimulation::new(protocol, self.counts.clone(), 0);
         sim.restore_clock(
             self.interactions,
@@ -133,17 +170,20 @@ impl Checkpoint {
             self.time_base,
             self.rng,
         );
-        sim
+        Ok(sim)
     }
 
     /// Rebuild a per-pair engine at the snapshot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the snapshot is not a `pairwise` one or the protocol's
-    /// state space does not match the stored counts.
-    pub fn restore_pairwise<P: TableProtocol>(&self, protocol: P) -> PairwiseBatchSimulation<P> {
-        assert_eq!(self.engine, "pairwise", "engine tag mismatch");
+    /// `InvalidData` if the snapshot is not a `pairwise` one or disagrees
+    /// with the protocol's state space.
+    pub fn restore_pairwise<P: TableProtocol>(
+        &self,
+        protocol: P,
+    ) -> io::Result<PairwiseBatchSimulation<P>> {
+        self.check_restore("pairwise", protocol.states())?;
         let mut sim = PairwiseBatchSimulation::new(protocol, self.counts.clone(), 0);
         sim.restore_clock(
             self.interactions,
@@ -151,16 +191,21 @@ impl Checkpoint {
             self.time_base,
             self.rng,
         );
-        sim
+        Ok(sim)
     }
 
     /// Rebuild a sequential table run at the snapshot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the snapshot is not a `seq` one.
-    pub fn restore_seq<P: TableProtocol>(&self, protocol: P) -> Simulation<SeqTable<P>> {
-        assert_eq!(self.engine, "seq", "engine tag mismatch");
+    /// `InvalidData` if the snapshot is not a `seq` one, its agent vector
+    /// disagrees with its counts, or any agent state falls outside the
+    /// protocol's state space.
+    pub fn restore_seq<P: TableProtocol>(
+        &self,
+        protocol: P,
+    ) -> io::Result<Simulation<SeqTable<P>>> {
+        self.check_restore("seq", protocol.states())?;
         let mut sim = Simulation::new(SeqTable::new(protocol), self.states.clone(), 0);
         sim.restore_clock(
             self.interactions,
@@ -168,7 +213,7 @@ impl Checkpoint {
             self.time_base,
             self.rng,
         );
-        sim
+        Ok(sim)
     }
 
     /// Serialize to the versioned text format.
@@ -262,7 +307,10 @@ impl Checkpoint {
             .map(|s| u32::try_from(s).map_err(|_| bad("state out of range")))
             .collect::<io::Result<_>>()?;
         let series_len = parse_u64(&field("series")?)? as usize;
-        let mut series = Vec::with_capacity(series_len);
+        // The length is untrusted input: pre-allocate only what the
+        // remaining text could plausibly hold, so a corrupt header can't
+        // request an absurd capacity. Growth past the hint is still exact.
+        let mut series = Vec::with_capacity(series_len.min(text.len() / 8 + 1));
         for _ in 0..series_len {
             let line = lines.next().ok_or_else(|| bad("truncated series"))?;
             let rest = line
@@ -413,13 +461,43 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_restores_are_errors_not_panics() {
+        // Engine-tag mismatch: a batch snapshot refuses the other restores.
+        let ck = demo_checkpoint();
+        assert!(ck.restore_pairwise(Am3).is_err());
+        assert!(ck.restore_seq(Am3).is_err());
+
+        // State-space mismatch: counts longer than the protocol's table.
+        let mut wide = demo_checkpoint();
+        wide.counts = vec![0, 600, 400, 7];
+        assert!(wide.restore_batch(Am3).is_err());
+
+        // Degenerate population.
+        let mut tiny = demo_checkpoint();
+        tiny.counts = vec![0, 1, 0];
+        assert!(tiny.restore_batch(Am3).is_err());
+
+        // Seq snapshots validate the agent vector against the counts and
+        // the protocol's state space.
+        let mut seq = demo_checkpoint();
+        seq.engine = "seq".to_string();
+        seq.counts = vec![0, 2, 1];
+        seq.states = vec![1, 1]; // one agent short of the counts
+        assert!(seq.restore_seq(Am3).is_err());
+        seq.states = vec![1, 1, 9]; // out-of-range state
+        assert!(seq.restore_seq(Am3).is_err());
+        seq.states = vec![1, 1, 2];
+        assert!(seq.restore_seq(Am3).is_ok());
+    }
+
+    #[test]
     fn batch_restore_replays_the_exact_stream() {
         let mut sim = BatchSimulation::new(Am3, vec![0, 6_000, 4_000], 42);
         for _ in 0..20 {
             sim.step_batch();
         }
         let ck = Checkpoint::of_batch(&sim, &[0, 6_000, 4_000], &[]);
-        let mut resumed = ck.restore_batch(Am3);
+        let mut resumed = ck.restore_batch(Am3).expect("restore");
         assert_eq!(resumed.counts(), sim.counts());
         assert_eq!(resumed.interactions(), sim.interactions());
         for _ in 0..50 {
@@ -438,7 +516,7 @@ mod tests {
         }
         let ck = Checkpoint::of_pairwise(&sim, &[0, 700, 300], &[]);
         let parsed = Checkpoint::from_text(&ck.to_text()).expect("parse");
-        let mut resumed = parsed.restore_pairwise(Am3);
+        let mut resumed = parsed.restore_pairwise(Am3).expect("restore");
         for _ in 0..30 {
             sim.step_batch();
             resumed.step_batch();
@@ -458,7 +536,7 @@ mod tests {
         sim.run(&opts);
         let ck = Checkpoint::of_seq(&sim, &initial, &[]);
         assert_eq!(ck.counts.iter().sum::<u64>(), 100);
-        let mut resumed = ck.restore_seq(Am3);
+        let mut resumed = ck.restore_seq(Am3).expect("restore");
         assert_eq!(resumed.states(), sim.states());
         for _ in 0..200 {
             let a = sim.step();

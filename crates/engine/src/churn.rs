@@ -17,7 +17,7 @@
 //! own RNG stream, preserving the (seed, config) replay contract.
 
 use crate::batch::multinomial::poisson;
-use crate::fault::ChurnSpec;
+use crate::fault::{ChurnSpec, ChurnTarget};
 use crate::protocol::SimRng;
 
 /// A continuous Poisson join/leave process with a sampling period.
@@ -25,6 +25,7 @@ use crate::protocol::SimRng;
 pub struct ChurnProcess {
     join: f64,
     leave: f64,
+    target: ChurnTarget,
     sample_every: f64,
 }
 
@@ -46,6 +47,7 @@ impl ChurnProcess {
         Self {
             join: spec.join,
             leave: spec.leave,
+            target: spec.target,
             sample_every: 1.0,
         }
     }
@@ -66,12 +68,18 @@ impl ChurnProcess {
         self
     }
 
-    /// The process's rates as a CLI/manifest spec.
+    /// The process's rates and departure targeting as a CLI/manifest spec.
     pub fn spec(&self) -> ChurnSpec {
         ChurnSpec {
             join: self.join,
             leave: self.leave,
+            target: self.target,
         }
+    }
+
+    /// Which agents the departures hit.
+    pub fn target(&self) -> ChurnTarget {
+        self.target
     }
 
     /// Parallel time between samples.
@@ -107,6 +115,7 @@ mod tests {
         let p = ChurnProcess::new(ChurnSpec {
             join: 0.0,
             leave: 0.0,
+            target: ChurnTarget::Uniform,
         })
         .with_sample_every(2.5);
         assert_eq!(p.next_mark(0.0), 2.5);
@@ -120,6 +129,7 @@ mod tests {
         let p = ChurnProcess::new(ChurnSpec {
             join: 0.02,
             leave: 0.01,
+            target: ChurnTarget::Uniform,
         });
         let mut rng = SimRng::seed_from_u64(3);
         let (mut joins, mut leaves) = (0u64, 0u64);
@@ -142,10 +152,23 @@ mod tests {
     }
 
     #[test]
+    fn spec_round_trips_rates_and_target() {
+        let spec = ChurnSpec {
+            join: 0.01,
+            leave: 0.03,
+            target: ChurnTarget::Plurality,
+        };
+        let p = ChurnProcess::new(spec);
+        assert_eq!(p.spec(), spec, "manifests must see the targeted spelling");
+        assert_eq!(p.target(), ChurnTarget::Plurality);
+    }
+
+    #[test]
     fn zero_rates_leave_the_rng_untouched() {
         let p = ChurnProcess::new(ChurnSpec {
             join: 0.0,
             leave: 0.0,
+            target: ChurnTarget::Uniform,
         });
         let mut rng = SimRng::seed_from_u64(9);
         let mut clean = rng.clone();

@@ -364,6 +364,98 @@ impl Scheduler for PairBiasScheduler {
 // ---------------------------------------------------------------------------
 // Byzantine interaction adversaries.
 
+/// A live opinion tally, the snapshot an adaptive adversary's forgery
+/// choice sees once per batch/stride.
+///
+/// Built from `(opinion, support)` pairs by the engines — the sequential
+/// engine tallies its state vector through
+/// [`Protocol::opinion_of`](crate::Protocol::opinion_of), the batched
+/// engines fold their counts vector through [`TableProtocol::opinion`] —
+/// so one census type serves all three. Helper/undecided states (no
+/// opinion) are not represented.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpinionCensus {
+    tallies: Vec<(u32, u64)>,
+}
+
+impl OpinionCensus {
+    /// A census from `(opinion, support)` pairs. Duplicate opinions are
+    /// merged; zero-support entries are dropped.
+    pub fn from_tallies(tallies: impl IntoIterator<Item = (u32, u64)>) -> Self {
+        let mut merged: Vec<(u32, u64)> = Vec::new();
+        for (op, c) in tallies {
+            if c == 0 {
+                continue;
+            }
+            match merged.iter_mut().find(|(o, _)| *o == op) {
+                Some((_, total)) => *total += c,
+                None => merged.push((op, c)),
+            }
+        }
+        merged.sort_unstable();
+        Self { tallies: merged }
+    }
+
+    /// The surviving `(opinion, support)` pairs, sorted by opinion.
+    pub fn tallies(&self) -> &[(u32, u64)] {
+        &self.tallies
+    }
+
+    /// The plurality opinion: maximum support, ties broken toward the
+    /// smaller opinion id. `None` on an opinion-free census.
+    pub fn leader(&self) -> Option<u32> {
+        self.tallies
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|&(op, _)| op)
+    }
+
+    /// The strongest opinion that is not the leader (ties toward the
+    /// smaller id). `None` unless at least two opinions survive.
+    pub fn runner_up(&self) -> Option<u32> {
+        let leader = self.leader()?;
+        self.tallies
+            .iter()
+            .filter(|&&(op, _)| op != leader)
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|&(op, _)| op)
+    }
+
+    /// The weakest surviving opinion: minimum support, ties broken toward
+    /// the smaller opinion id. `None` on an opinion-free census.
+    pub fn weakest(&self) -> Option<u32> {
+        self.tallies
+            .iter()
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+            .map(|&(op, _)| op)
+    }
+
+    /// The weakest surviving opinion that is not the leader (ties toward
+    /// the smaller id) — the one an anti-elimination adversary props up.
+    /// `None` unless at least two opinions survive.
+    pub fn weakest_non_leader(&self) -> Option<u32> {
+        let leader = self.leader()?;
+        self.tallies
+            .iter()
+            .filter(|&&(op, _)| op != leader)
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+            .map(|&(op, _)| op)
+    }
+}
+
+/// What liars claim this batch/stride, as chosen by
+/// [`Adversary::forgery`] against the live census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Forgery {
+    /// A uniformly random protocol state per lie.
+    Random,
+    /// Every lie claims this opinion.
+    Opinion(u32),
+    /// Each lie claims one of the two opinions with probability ½ — the
+    /// polarizing forgery that feeds both sides of a near-tie.
+    Split(u32, u32),
+}
+
 /// A Byzantine interaction adversary: intercepts *individual* interactions
 /// and makes a bounded fraction of participants lie about their state.
 ///
@@ -388,6 +480,122 @@ pub trait Adversary: Send + Sync + fmt::Debug {
     /// The opinion liars claim to hold; `None` = a uniformly random
     /// protocol state per lie.
     fn forged_opinion(&self) -> Option<u32>;
+
+    /// Whether the forgery depends on the live census. Engines skip the
+    /// per-batch/per-stride census and refresh entirely when this is
+    /// `false`, so static adversaries keep their exact cost (and RNG
+    /// stream) from before adaptivity existed.
+    fn adaptive(&self) -> bool {
+        false
+    }
+
+    /// The forgery for the coming batch/stride, chosen against the live
+    /// census. The default ignores the census and reproduces the static
+    /// [`forged_opinion`](Adversary::forgery) behaviour, so non-adaptive
+    /// adversaries implement nothing new. Must not draw randomness — the
+    /// engines' replay contract assumes the census refresh is RNG-silent.
+    fn forgery(&self, census: &OpinionCensus) -> Forgery {
+        let _ = census;
+        self.forged_opinion()
+            .map_or(Forgery::Random, Forgery::Opinion)
+    }
+}
+
+/// How an [`AdaptiveAdversary`] aims its lies at the live census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveStrategy {
+    /// Every lie claims the current runner-up opinion — pumping the
+    /// strongest rival to overturn the true plurality.
+    BoostRunnerUp,
+    /// Every lie claims the *weakest* surviving non-leader opinion — the
+    /// anti-elimination attack that keeps insignificant opinions alive,
+    /// directly targeting the paper's elimination phase.
+    SuppressLeader,
+    /// Lies split 50/50 between leader and runner-up, feeding both sides
+    /// of the race to hold it at a tie.
+    Split,
+}
+
+impl AdaptiveStrategy {
+    /// The CLI/manifest spelling (`boost-runnerup`, `suppress-leader`,
+    /// `split`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AdaptiveStrategy::BoostRunnerUp => "boost-runnerup",
+            AdaptiveStrategy::SuppressLeader => "suppress-leader",
+            AdaptiveStrategy::Split => "split",
+        }
+    }
+}
+
+impl FromStr for AdaptiveStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "boost-runnerup" => Ok(AdaptiveStrategy::BoostRunnerUp),
+            "suppress-leader" => Ok(AdaptiveStrategy::SuppressLeader),
+            "split" => Ok(AdaptiveStrategy::Split),
+            _ => Err(format!(
+                "adaptive strategy '{s}' is not boost-runnerup, suppress-leader or split"
+            )),
+        }
+    }
+}
+
+/// The census-aware Byzantine liar: same bounded lie fraction as
+/// [`ByzantineAdversary`], but the forged opinion is re-aimed at the live
+/// census once per batch/stride according to an [`AdaptiveStrategy`].
+///
+/// Every strategy degrades gracefully as opinions die out: with a single
+/// surviving opinion the runner-up/weakest targets vanish and the
+/// adversary falls back to boosting that opinion ([`AdaptiveStrategy::Split`])
+/// or to random forgeries (the targeted strategies); with no opinions at
+/// all every strategy forges random states.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveAdversary {
+    /// Probability that any given participant lies.
+    pub frac: f64,
+    /// How lies are aimed at the census.
+    pub strategy: AdaptiveStrategy,
+}
+
+impl Adversary for AdaptiveAdversary {
+    fn describe(&self) -> String {
+        AdversarySpec::Adaptive {
+            frac: self.frac,
+            strategy: self.strategy,
+        }
+        .to_string()
+    }
+
+    fn lie_frac(&self) -> f64 {
+        self.frac.clamp(0.0, 1.0)
+    }
+
+    fn forged_opinion(&self) -> Option<u32> {
+        None
+    }
+
+    fn adaptive(&self) -> bool {
+        true
+    }
+
+    fn forgery(&self, census: &OpinionCensus) -> Forgery {
+        match self.strategy {
+            AdaptiveStrategy::BoostRunnerUp => {
+                census.runner_up().map_or(Forgery::Random, Forgery::Opinion)
+            }
+            AdaptiveStrategy::SuppressLeader => census
+                .weakest_non_leader()
+                .map_or(Forgery::Random, Forgery::Opinion),
+            AdaptiveStrategy::Split => match (census.leader(), census.runner_up()) {
+                (Some(a), Some(b)) => Forgery::Split(a, b),
+                (Some(a), None) => Forgery::Opinion(a),
+                _ => Forgery::Random,
+            },
+        }
+    }
 }
 
 /// The standard Byzantine liar: each participant independently lies with
@@ -420,7 +628,9 @@ impl Adversary for ByzantineAdversary {
 }
 
 /// An adversary as CLI flag and manifest entry: `byz:FRAC` (random
-/// forgeries) or `byz:FRAC:OPINION` (fixed forged opinion).
+/// forgeries), `byz:FRAC:OPINION` (fixed forged opinion) or
+/// `adaptive:FRAC[:STRATEGY]` (census-aware forgeries; the strategy
+/// defaults to `boost-runnerup`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdversarySpec {
     /// See [`ByzantineAdversary`].
@@ -430,6 +640,13 @@ pub enum AdversarySpec {
         /// Forged opinion (`None` = uniformly random state per lie).
         opinion: Option<u32>,
     },
+    /// See [`AdaptiveAdversary`].
+    Adaptive {
+        /// Probability that any given participant lies.
+        frac: f64,
+        /// How lies are aimed at the live census.
+        strategy: AdaptiveStrategy,
+    },
 }
 
 impl AdversarySpec {
@@ -438,6 +655,9 @@ impl AdversarySpec {
         match *self {
             AdversarySpec::Byzantine { frac, opinion } => {
                 Arc::new(ByzantineAdversary { frac, opinion })
+            }
+            AdversarySpec::Adaptive { frac, strategy } => {
+                Arc::new(AdaptiveAdversary { frac, strategy })
             }
         }
     }
@@ -454,6 +674,11 @@ impl fmt::Display for AdversarySpec {
                 frac,
                 opinion: None,
             } => write!(f, "byz:{frac}"),
+            // The strategy always prints, so the manifest spelling is
+            // lossless even for the default.
+            AdversarySpec::Adaptive { frac, strategy } => {
+                write!(f, "adaptive:{frac}:{}", strategy.name())
+            }
         }
     }
 }
@@ -462,7 +687,9 @@ impl FromStr for AdversarySpec {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || format!("adversary '{s}' is not byz:FRAC or byz:FRAC:OPINION");
+        let err = || {
+            format!("adversary '{s}' is not byz:FRAC, byz:FRAC:OPINION or adaptive:FRAC[:STRATEGY]")
+        };
         let parts: Vec<&str> = s.split(':').collect();
         let frac_of = |v: &str| {
             v.parse::<f64>()
@@ -479,33 +706,73 @@ impl FromStr for AdversarySpec {
                 frac: frac_of(frac)?,
                 opinion: Some(op.parse::<u32>().map_err(|_| err())?),
             }),
+            ["adaptive", frac] => Ok(AdversarySpec::Adaptive {
+                frac: frac_of(frac)?,
+                strategy: AdaptiveStrategy::BoostRunnerUp,
+            }),
+            ["adaptive", frac, strat] => Ok(AdversarySpec::Adaptive {
+                frac: frac_of(frac)?,
+                strategy: strat.parse().map_err(|_| err())?,
+            }),
             _ => Err(err()),
         }
     }
 }
 
+/// Which agents a targeted churn process removes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ChurnTarget {
+    /// Uniformly random departures — the classic churn model.
+    #[default]
+    Uniform,
+    /// Departures drawn from agents advocating the current plurality
+    /// opinion — the adversary bleeds the winner.
+    Plurality,
+    /// Departures drawn from agents advocating the weakest surviving
+    /// opinion — accelerated elimination pressure.
+    Minority,
+}
+
+impl ChurnTarget {
+    /// The CLI/manifest spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChurnTarget::Uniform => "uniform",
+            ChurnTarget::Plurality => "plurality",
+            ChurnTarget::Minority => "minority",
+        }
+    }
+}
+
 /// A steady-state churn process as CLI flag and manifest entry:
-/// `churn:JOIN` (leave rate = join rate) or `churn:JOIN:LEAVE`, rates in
-/// expected events per agent per unit of parallel time.
+/// `churn:JOIN` (leave rate = join rate), `churn:JOIN:LEAVE`, or
+/// `churn:JOIN:LEAVE:TARGET` (`plurality` / `minority` departure
+/// targeting), rates in expected events per agent per unit of parallel
+/// time.
 ///
 /// Distinct from the one-shot [`FaultSpec::Churn`] epoch strike
 /// (`churn@AT:FRAC`, note the `@`): this spec describes a *continuous*
 /// Poisson join/leave process driven by
 /// [`ChurnProcess`](crate::ChurnProcess).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ChurnSpec {
     /// Expected joins per agent per unit of parallel time.
     pub join: f64,
     /// Expected leaves per agent per unit of parallel time.
     pub leave: f64,
+    /// Which agents the departures hit.
+    pub target: ChurnTarget,
 }
 
 impl fmt::Display for ChurnSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.join == self.leave {
-            write!(f, "churn:{}", self.join)
-        } else {
-            write!(f, "churn:{}:{}", self.join, self.leave)
+        // Uniform spellings are unchanged from before targeting existed
+        // (manifest stability); targeted churn always prints the 4-part
+        // form.
+        match self.target {
+            ChurnTarget::Uniform if self.join == self.leave => write!(f, "churn:{}", self.join),
+            ChurnTarget::Uniform => write!(f, "churn:{}:{}", self.join, self.leave),
+            t => write!(f, "churn:{}:{}:{}", self.join, self.leave, t.name()),
         }
     }
 }
@@ -514,7 +781,12 @@ impl FromStr for ChurnSpec {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || format!("churn '{s}' is not churn:JOIN or churn:JOIN:LEAVE");
+        let err = || {
+            format!(
+                "churn '{s}' is not churn:JOIN, churn:JOIN:LEAVE or churn:JOIN:LEAVE:TARGET \
+                 (target: plurality or minority)"
+            )
+        };
         let rate_of = |v: &str| {
             v.parse::<f64>()
                 .ok()
@@ -525,12 +797,32 @@ impl FromStr for ChurnSpec {
         match parts.as_slice() {
             ["churn", join] => {
                 let join = rate_of(join)?;
-                Ok(ChurnSpec { join, leave: join })
+                Ok(ChurnSpec {
+                    join,
+                    leave: join,
+                    target: ChurnTarget::Uniform,
+                })
             }
             ["churn", join, leave] => Ok(ChurnSpec {
                 join: rate_of(join)?,
                 leave: rate_of(leave)?,
+                target: ChurnTarget::Uniform,
             }),
+            ["churn", join, leave, target] => {
+                let target = match *target {
+                    "plurality" => ChurnTarget::Plurality,
+                    "minority" => ChurnTarget::Minority,
+                    // `uniform` is not accepted here: the uniform spelling
+                    // is the 2-/3-part form, keeping Display∘FromStr
+                    // canonical.
+                    _ => return Err(err()),
+                };
+                Ok(ChurnSpec {
+                    join: rate_of(join)?,
+                    leave: rate_of(leave)?,
+                    target,
+                })
+            }
             _ => Err(err()),
         }
     }
@@ -712,6 +1004,38 @@ impl FromStr for SchedulerSpec {
 // ---------------------------------------------------------------------------
 // Configuration-level strike (shared by the batched engines).
 
+/// A [`Forgery`] resolved to the batched engines' state space: what state
+/// index (or pair of indices) liars report this batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LieTarget {
+    /// A uniformly random state per lie.
+    Random,
+    /// Every lie reports this state.
+    Fixed(usize),
+    /// Each lie reports one of the two states with probability ½.
+    Pair(usize, usize),
+}
+
+/// Resolve an opinion-level [`Forgery`] to the table's state space via
+/// [`TableProtocol::opinion_state`]. Mirrors the sequential engine's
+/// `fault_state` contract: an unmappable fixed opinion degrades to
+/// honesty (`None`), a split with one unmappable side degrades to the
+/// other side alone, and a fully unmappable split degrades to honesty.
+pub fn resolve_forgery<P: TableProtocol + ?Sized>(
+    protocol: &P,
+    forgery: Forgery,
+) -> Option<LieTarget> {
+    match forgery {
+        Forgery::Random => Some(LieTarget::Random),
+        Forgery::Opinion(op) => protocol.opinion_state(op).map(LieTarget::Fixed),
+        Forgery::Split(a, b) => match (protocol.opinion_state(a), protocol.opinion_state(b)) {
+            (Some(a), Some(b)) => Some(LieTarget::Pair(a, b)),
+            (Some(s), None) | (None, Some(s)) => Some(LieTarget::Fixed(s)),
+            (None, None) => None,
+        },
+    }
+}
+
 /// Apply `action` to a configuration-space population: victims are drawn
 /// by per-state binomial thinning (statistically identical to independent
 /// per-agent coin flips, `O(S)` at any `n` — the reason the `n = 10⁸`
@@ -837,25 +1161,77 @@ mod tests {
                 frac: 0.25,
                 opinion: Some(2),
             },
+            AdversarySpec::Adaptive {
+                frac: 0.05,
+                strategy: AdaptiveStrategy::BoostRunnerUp,
+            },
+            AdversarySpec::Adaptive {
+                frac: 0.1,
+                strategy: AdaptiveStrategy::SuppressLeader,
+            },
+            AdversarySpec::Adaptive {
+                frac: 0.0,
+                strategy: AdaptiveStrategy::Split,
+            },
         ] {
             let printed = s.to_string();
             assert_eq!(printed.parse::<AdversarySpec>(), Ok(s), "{printed}");
             assert_eq!(s.build().describe(), printed);
         }
+        // The strategy-free spelling defaults to boost-runnerup.
+        assert_eq!(
+            "adaptive:0.1".parse::<AdversarySpec>(),
+            Ok(AdversarySpec::Adaptive {
+                frac: 0.1,
+                strategy: AdaptiveStrategy::BoostRunnerUp,
+            })
+        );
 
         for s in [
             ChurnSpec {
                 join: 0.01,
                 leave: 0.01,
+                target: ChurnTarget::Uniform,
             },
             ChurnSpec {
                 join: 0.02,
                 leave: 0.005,
+                target: ChurnTarget::Uniform,
+            },
+            ChurnSpec {
+                join: 0.01,
+                leave: 0.01,
+                target: ChurnTarget::Plurality,
+            },
+            ChurnSpec {
+                join: 0.0,
+                leave: 0.02,
+                target: ChurnTarget::Minority,
             },
         ] {
             let printed = s.to_string();
             assert_eq!(printed.parse::<ChurnSpec>(), Ok(s), "{printed}");
         }
+        // Uniform spellings are byte-identical to before targeting
+        // existed; targeted churn always prints the 4-part form.
+        assert_eq!(
+            ChurnSpec {
+                join: 0.01,
+                leave: 0.01,
+                target: ChurnTarget::Uniform,
+            }
+            .to_string(),
+            "churn:0.01"
+        );
+        assert_eq!(
+            ChurnSpec {
+                join: 0.01,
+                leave: 0.02,
+                target: ChurnTarget::Plurality,
+            }
+            .to_string(),
+            "churn:0.01:0.02:plurality"
+        );
     }
 
     #[test]
@@ -876,10 +1252,32 @@ mod tests {
         for bad in ["warp", "pairbias:2.0", "starve:1:0", "starve:1"] {
             assert!(bad.parse::<SchedulerSpec>().is_err(), "{bad:?} should fail");
         }
-        for bad in ["byz", "byz:1.5", "byz:-0.1", "byz:0.1:x", "lie:0.1", ""] {
+        for bad in [
+            "byz",
+            "byz:1.5",
+            "byz:-0.1",
+            "byz:0.1:x",
+            "lie:0.1",
+            "",
+            "adaptive",
+            "adaptive:1.5",
+            "adaptive:0.1:warp",
+            "adaptive:0.1:boost-runnerup:2",
+        ] {
             assert!(bad.parse::<AdversarySpec>().is_err(), "{bad:?} should fail");
         }
-        for bad in ["churn", "churn:-1", "churn:0.1:-2", "churn:inf", "x:0.1"] {
+        for bad in [
+            "churn",
+            "churn:-1",
+            "churn:0.1:-2",
+            "churn:inf",
+            "x:0.1",
+            "churn:0.1:0.1:everyone",
+            // `uniform` is not a valid 4th field — the uniform spelling is
+            // the 2-/3-part form.
+            "churn:0.1:0.1:uniform",
+            "churn:0.1:0.1:plurality:9",
+        ] {
             assert!(bad.parse::<ChurnSpec>().is_err(), "{bad:?} should fail");
         }
     }
@@ -899,6 +1297,103 @@ mod tests {
         };
         assert_eq!(random.lie_frac(), 1.0, "frac clamps into [0, 1]");
         assert_eq!(random.describe(), "byz:1.5");
+        // Static adversaries are non-adaptive and their default forgery
+        // ignores the census.
+        assert!(!a.adaptive());
+        let census = OpinionCensus::from_tallies([(1, 10), (2, 90)]);
+        assert_eq!(a.forgery(&census), Forgery::Opinion(1));
+        assert_eq!(random.forgery(&census), Forgery::Random);
+    }
+
+    #[test]
+    fn census_extremes_and_tie_breaks() {
+        let c = OpinionCensus::from_tallies([(3, 50), (1, 200), (2, 200), (4, 10), (5, 0)]);
+        assert_eq!(c.leader(), Some(1), "support tie breaks to the smaller id");
+        assert_eq!(c.runner_up(), Some(2));
+        assert_eq!(c.weakest_non_leader(), Some(4), "zero-support entries drop");
+        assert_eq!(c.tallies().len(), 4);
+
+        let unanimous = OpinionCensus::from_tallies([(7, 100)]);
+        assert_eq!(unanimous.leader(), Some(7));
+        assert_eq!(unanimous.runner_up(), None);
+        assert_eq!(unanimous.weakest_non_leader(), None);
+
+        let empty = OpinionCensus::default();
+        assert_eq!(empty.leader(), None);
+
+        // Duplicate tallies merge (the sequential engine can emit one pair
+        // per agent).
+        let merged = OpinionCensus::from_tallies([(1, 5), (2, 3), (1, 5)]);
+        assert_eq!(merged.tallies(), &[(1, 10), (2, 3)]);
+    }
+
+    #[test]
+    fn adaptive_strategies_aim_at_the_census() {
+        let census = OpinionCensus::from_tallies([(1, 500), (2, 300), (3, 50)]);
+        let strat = |strategy| AdaptiveAdversary {
+            frac: 0.1,
+            strategy,
+        };
+        assert_eq!(
+            strat(AdaptiveStrategy::BoostRunnerUp).forgery(&census),
+            Forgery::Opinion(2)
+        );
+        assert_eq!(
+            strat(AdaptiveStrategy::SuppressLeader).forgery(&census),
+            Forgery::Opinion(3),
+            "suppress-leader props up the weakest rival"
+        );
+        assert_eq!(
+            strat(AdaptiveStrategy::Split).forgery(&census),
+            Forgery::Split(1, 2)
+        );
+
+        // Degradation as opinions die out.
+        let unanimous = OpinionCensus::from_tallies([(2, 100)]);
+        assert_eq!(
+            strat(AdaptiveStrategy::BoostRunnerUp).forgery(&unanimous),
+            Forgery::Random
+        );
+        assert_eq!(
+            strat(AdaptiveStrategy::Split).forgery(&unanimous),
+            Forgery::Opinion(2)
+        );
+        let empty = OpinionCensus::default();
+        for s in [
+            AdaptiveStrategy::BoostRunnerUp,
+            AdaptiveStrategy::SuppressLeader,
+            AdaptiveStrategy::Split,
+        ] {
+            assert_eq!(strat(s).forgery(&empty), Forgery::Random);
+        }
+
+        let a = strat(AdaptiveStrategy::Split);
+        assert!(a.adaptive());
+        assert_eq!(a.forged_opinion(), None);
+        assert_eq!(a.describe(), "adaptive:0.1:split");
+    }
+
+    #[test]
+    fn forgeries_resolve_to_table_states_with_graceful_degradation() {
+        assert_eq!(
+            resolve_forgery(&T3, Forgery::Random),
+            Some(LieTarget::Random)
+        );
+        assert_eq!(
+            resolve_forgery(&T3, Forgery::Opinion(2)),
+            Some(LieTarget::Fixed(2))
+        );
+        assert_eq!(resolve_forgery(&T3, Forgery::Opinion(9)), None);
+        assert_eq!(
+            resolve_forgery(&T3, Forgery::Split(1, 2)),
+            Some(LieTarget::Pair(1, 2))
+        );
+        assert_eq!(
+            resolve_forgery(&T3, Forgery::Split(1, 9)),
+            Some(LieTarget::Fixed(1)),
+            "half-unmappable split degrades to the mappable side"
+        );
+        assert_eq!(resolve_forgery(&T3, Forgery::Split(8, 9)), None);
     }
 
     #[test]

@@ -109,9 +109,10 @@ pub use census::Census;
 pub use checkpoint::Checkpoint;
 pub use churn::ChurnProcess;
 pub use fault::{
-    Adversary, AdversarySpec, ByzantineAdversary, Churn, ChurnSpec, Corrupt, FaultAction,
-    FaultHook, FaultPlan, FaultRecord, FaultSpec, Inject, PairBiasScheduler, Replacement,
-    Scheduler, SchedulerSpec, StarveScheduler, UniformScheduler,
+    AdaptiveAdversary, AdaptiveStrategy, Adversary, AdversarySpec, ByzantineAdversary, Churn,
+    ChurnSpec, ChurnTarget, Corrupt, FaultAction, FaultHook, FaultPlan, FaultRecord, FaultSpec,
+    Forgery, Inject, LieTarget, OpinionCensus, PairBiasScheduler, Replacement, Scheduler,
+    SchedulerSpec, StarveScheduler, UniformScheduler,
 };
 pub use protocol::{Protocol, SimRng};
 pub use result::{ChurnSample, RunNote, RunOptions, RunResult, RunStatus};

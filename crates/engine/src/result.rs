@@ -68,9 +68,17 @@ impl RunResult {
     /// — the "time in consensus" a soak run reports. `NaN` when the run
     /// has no series.
     pub fn time_in_consensus(&self) -> f64 {
-        let hits = self.series.iter().filter(|s| s.output.is_some()).count();
-        hits as f64 / self.series.len() as f64
+        time_in_consensus(&self.series)
     }
+}
+
+/// Fraction of churn samples at which the convergence predicate fired —
+/// the series-level form of [`RunResult::time_in_consensus`], for soaks
+/// that stitch series across checkpoint segments. `NaN` on an empty
+/// series.
+pub fn time_in_consensus(series: &[ChurnSample]) -> f64 {
+    let hits = series.iter().filter(|s| s.output.is_some()).count();
+    hits as f64 / series.len() as f64
 }
 
 /// Options controlling a simulation run.

@@ -7,8 +7,8 @@ use rand::{Rng, SeedableRng};
 use crate::census::Census;
 use crate::churn::ChurnProcess;
 use crate::fault::{
-    Adversary, FaultAction, FaultPlan, FaultRecord, Replacement, Scheduler, SCHEDULER_RETRIES,
-    SCHEDULER_SATURATION_STREAK,
+    Adversary, ChurnTarget, FaultAction, FaultPlan, FaultRecord, Forgery, OpinionCensus,
+    Replacement, Scheduler, SCHEDULER_RETRIES, SCHEDULER_SATURATION_STREAK,
 };
 use crate::pair::{pair_mut, sample_pair};
 use crate::protocol::{Protocol, SimRng};
@@ -30,6 +30,11 @@ pub struct Simulation<P: Protocol> {
     interactions_base: u64,
     scheduler: Option<Arc<dyn Scheduler>>,
     adversary: Option<Arc<dyn Adversary>>,
+    /// The adversary's current forgery, cached so the hot loop never
+    /// recomputes it. Static adversaries set it once at install; adaptive
+    /// ones are refreshed against the live census at every stride
+    /// boundary (see [`refresh_forgery`](Self::refresh_forgery)).
+    forgery: Forgery,
     /// Consecutive fully-exhausted scheduler rejection loops.
     starve_streak: u32,
     scheduler_saturated: bool,
@@ -55,6 +60,7 @@ impl<P: Protocol> Simulation<P> {
             interactions_base: 0,
             scheduler: None,
             adversary: None,
+            forgery: Forgery::Random,
             starve_streak: 0,
             scheduler_saturated: false,
         }
@@ -72,6 +78,10 @@ impl<P: Protocol> Simulation<P> {
     /// keeps RNG-identity on every engine.
     pub fn set_adversary(&mut self, adversary: Arc<dyn Adversary>) {
         if adversary.lie_frac() > 0.0 {
+            // Static adversaries ignore the census (trait default), so
+            // this one call covers both kinds; adaptive forgeries are then
+            // re-aimed at every stride boundary.
+            self.forgery = adversary.forgery(&self.opinion_census());
             self.adversary = Some(adversary);
         }
     }
@@ -164,12 +174,20 @@ impl<P: Protocol> Simulation<P> {
     /// degrades that lie to honesty — adversaries degrade, never panic.
     fn interact_byzantine(&mut self, i: usize, j: usize, adv: &dyn Adversary) {
         let frac = adv.lie_frac();
-        let forged = adv
-            .forged_opinion()
-            .map_or(Replacement::Random, |op| Replacement::Opinion(op));
+        let forgery = self.forgery;
         let lie = |protocol: &P, rng: &mut SimRng| -> Option<P::State> {
             rng.gen_bool(frac)
-                .then(|| protocol.fault_state(&forged, rng))
+                .then(|| {
+                    let forged = match forgery {
+                        Forgery::Random => Replacement::Random,
+                        Forgery::Opinion(op) => Replacement::Opinion(op),
+                        // The polarizing forgery: each lie picks a side.
+                        Forgery::Split(a, b) => {
+                            Replacement::Opinion(if rng.gen_bool(0.5) { a } else { b })
+                        }
+                    };
+                    protocol.fault_state(&forged, rng)
+                })
                 .flatten()
         };
         let a_forgery = lie(&self.protocol, &mut self.rng);
@@ -191,6 +209,29 @@ impl<P: Protocol> Simulation<P> {
             }
             (Some(_), Some(_)) => {}
         }
+    }
+
+    /// The live opinion tally, for adaptive forgeries and targeted churn.
+    fn opinion_census(&self) -> OpinionCensus {
+        let mut tally: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for s in &self.states {
+            if let Some(op) = self.protocol.opinion_of(s) {
+                *tally.entry(op).or_insert(0) += 1;
+            }
+        }
+        OpinionCensus::from_tallies(tally)
+    }
+
+    /// Re-aim an adaptive adversary's forgery at the live census. Called
+    /// at every stride boundary — `O(n)` per `O(n)` interactions, so the
+    /// hot loop is untouched. Draws no randomness, preserving the replay
+    /// contract; a no-op for static adversaries.
+    fn refresh_forgery(&mut self) {
+        if !self.adversary.as_ref().is_some_and(|a| a.adaptive()) {
+            return;
+        }
+        let adv = self.adversary.clone().expect("adaptive adversary present");
+        self.forgery = adv.forgery(&self.opinion_census());
     }
 
     /// Biased pair draw: bounded rejection sampling against the
@@ -286,6 +327,7 @@ impl<P: Protocol> Simulation<P> {
                 return self.finish(RunStatus::Exhausted, None);
             }
             let steps = stride.min(opts.max_interactions - self.interactions);
+            self.refresh_forgery();
             for _ in 0..steps {
                 let (i, j) = self.step();
                 census.record(self.protocol.encode(&self.states[i]));
@@ -319,6 +361,7 @@ impl<P: Protocol> Simulation<P> {
                 return self.finish(RunStatus::Exhausted, None);
             }
             let steps = stride.min(opts.max_interactions - self.interactions);
+            self.refresh_forgery();
             for _ in 0..steps {
                 self.step();
             }
@@ -356,6 +399,7 @@ impl<P: Protocol> Simulation<P> {
                     open = None;
                 }
                 let steps = stride.min(target - self.interactions);
+                self.refresh_forgery();
                 for _ in 0..steps {
                     self.step();
                 }
@@ -392,6 +436,7 @@ impl<P: Protocol> Simulation<P> {
                 return r;
             }
             let steps = stride.min(opts.max_interactions - self.interactions);
+            self.refresh_forgery();
             for _ in 0..steps {
                 self.step();
             }
@@ -477,6 +522,7 @@ impl<P: Protocol> Simulation<P> {
             // pick the same stride the uninterrupted run would have.
             let stride = self.check_stride(opts);
             let steps = stride.min(opts.max_interactions - self.interactions);
+            self.refresh_forgery();
             for _ in 0..steps {
                 self.step();
             }
@@ -501,6 +547,11 @@ impl<P: Protocol> Simulation<P> {
     /// Poisson join/leave events covering a stride of `len` interactions.
     /// The clock folds before the population changes so parallel time
     /// stays continuous; leaves are capped to keep at least two agents.
+    ///
+    /// Uniform-target departures keep the exact RNG draw sequence from
+    /// before targeting existed; targeted departures hit the census-chosen
+    /// opinion class first and fall back to uniform removals once (or if)
+    /// the class runs dry.
     fn apply_churn_events(&mut self, churn: &ChurnProcess, initial: &[P::State], len: u64) {
         let (joins, leaves) = churn.draw_events(&mut self.rng, len);
         let leaves = leaves.min(self.states.len() as u64 - 2);
@@ -508,7 +559,11 @@ impl<P: Protocol> Simulation<P> {
             return;
         }
         self.fold_clock();
-        for _ in 0..leaves {
+        let targeted = match churn.target() {
+            ChurnTarget::Uniform => 0,
+            target => self.remove_targeted(target, leaves),
+        };
+        for _ in 0..leaves - targeted {
             let victim = self.rng.gen_range(0..self.states.len());
             self.states.swap_remove(victim);
         }
@@ -516,6 +571,39 @@ impl<P: Protocol> Simulation<P> {
             let donor = self.rng.gen_range(0..initial.len());
             self.states.push(initial[donor].clone());
         }
+    }
+
+    /// Remove up to `leaves` agents from the opinion class the target
+    /// selects (plurality leader / weakest minority), returning how many
+    /// were actually removed. Victims are distinct members of the class,
+    /// chosen by a partial Fisher–Yates shuffle over the member indices —
+    /// one `O(n)` scan per stride, matching the census cost — and removed
+    /// in descending index order so `swap_remove` never displaces a
+    /// pending victim.
+    fn remove_targeted(&mut self, target: ChurnTarget, leaves: u64) -> u64 {
+        let census = self.opinion_census();
+        let want = match target {
+            ChurnTarget::Uniform => None,
+            ChurnTarget::Plurality => census.leader(),
+            ChurnTarget::Minority => census.weakest(),
+        };
+        // An opinion-free population degrades to uniform departures.
+        let Some(want) = want else { return 0 };
+        let mut members: Vec<usize> = (0..self.states.len())
+            .filter(|&i| self.protocol.opinion_of(&self.states[i]) == Some(want))
+            .collect();
+        let k = (leaves as usize).min(members.len());
+        for m in 0..k {
+            let pick = self.rng.gen_range(m..members.len());
+            members.swap(m, pick);
+        }
+        let mut victims = members;
+        victims.truncate(k);
+        victims.sort_unstable_by(|a, b| b.cmp(a));
+        for v in victims {
+            self.states.swap_remove(v);
+        }
+        k as u64
     }
 
     /// The health sample `run_churned` records at each sampling mark.

@@ -151,6 +151,233 @@ fn batch_recovery_times_match_pairwise_within_tolerance_under_lies() {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive adversaries: frac = 0 is RNG-identical to clean, and a live
+// fraction actually steers its lies by the census.
+
+#[test]
+fn zero_fraction_adaptive_adversary_keeps_rng_identity_on_all_engines() {
+    // `adaptive:0[:any]` installs nothing: the census is never even read,
+    // so every engine stays on the clean RNG trajectory byte for byte.
+    let opts = RunOptions::with_parallel_time_budget(1000, 5_000.0);
+    let init = vec![0u64, 700, 300];
+    for spec in [
+        "adaptive:0",
+        "adaptive:0:suppress-leader",
+        "adaptive:0:split",
+    ] {
+        let states = SeqTable::<ThreeState>::initial_states(&init);
+        let mut plain = Simulation::new(SeqTable::new(ThreeState), states.clone(), 13);
+        let mut adv = Simulation::new(SeqTable::new(ThreeState), states, 13);
+        adv.set_adversary(byz(spec));
+        let (rp, ra) = (plain.run(&opts), adv.run(&opts));
+        assert_eq!(rp.interactions, ra.interactions, "{spec} seq");
+        assert_eq!(plain.states(), adv.states(), "{spec} seq");
+
+        let mut plain = BatchSimulation::new(ThreeState, init.clone(), 13);
+        let mut adv = BatchSimulation::new(ThreeState, init.clone(), 13);
+        adv.set_adversary(byz(spec));
+        let (rp, ra) = (plain.run(&opts), adv.run(&opts));
+        assert_eq!(rp.interactions, ra.interactions, "{spec} batch");
+        assert_eq!(plain.counts(), adv.counts(), "{spec} batch");
+        assert_eq!(plain.rng_state(), adv.rng_state(), "{spec} batch");
+
+        let mut plain = PairwiseBatchSimulation::new(ThreeState, init.clone(), 13);
+        let mut adv = PairwiseBatchSimulation::new(ThreeState, init.clone(), 13);
+        adv.set_adversary(byz(spec));
+        let (rp, ra) = (plain.run(&opts), adv.run(&opts));
+        assert_eq!(rp.interactions, ra.interactions, "{spec} pairwise");
+        assert_eq!(plain.counts(), adv.counts(), "{spec} pairwise");
+        assert_eq!(plain.rng_state(), adv.rng_state(), "{spec} pairwise");
+    }
+}
+
+#[test]
+fn adaptive_lies_delay_absorption_at_least_as_much_as_fixed_lies() {
+    // Head-to-head at the same fraction: a runner-up-boosting adaptive
+    // adversary re-aims at whichever opinion is trailing *now*, so across
+    // seeds it must block ThreeState's exact-absorption predicate at least
+    // as often as a fixed minority-opinion lie.
+    let opts = RunOptions::with_parallel_time_budget(1000, 2_000.0);
+    let init = vec![0u64, 700, 300];
+    let trials = 20u64;
+    let blocked = |spec: &str| -> usize {
+        (0..trials)
+            .filter(|&seed| {
+                let mut sim = BatchSimulation::new(ThreeState, init.clone(), seed);
+                sim.set_adversary(byz(spec));
+                sim.run(&opts).output.is_none()
+            })
+            .count()
+    };
+    let fixed = blocked("byz:0.05:2");
+    let adaptive = blocked("adaptive:0.05:boost-runnerup");
+    assert!(
+        adaptive >= fixed,
+        "adaptive lies blocked {adaptive}/{trials}, fixed lies {fixed}/{trials}"
+    );
+    assert!(
+        adaptive > 0,
+        "a 5% adaptive lie stream should block exact absorption sometimes"
+    );
+}
+
+#[test]
+fn adaptive_adversary_runs_deterministically_per_seed_on_all_engines() {
+    let opts = RunOptions::with_parallel_time_budget(1000, 2_000.0);
+    let init = vec![0u64, 600, 400];
+    for spec in [
+        "adaptive:0.1",
+        "adaptive:0.1:suppress-leader",
+        "adaptive:0.1:split",
+    ] {
+        let run_batch = |seed| {
+            let mut sim = BatchSimulation::new(ThreeState, init.clone(), seed);
+            sim.set_adversary(byz(spec));
+            sim.run(&opts);
+            (sim.counts().to_vec(), sim.rng_state())
+        };
+        assert_eq!(run_batch(5), run_batch(5), "{spec} batch");
+
+        let run_pw = |seed| {
+            let mut sim = PairwiseBatchSimulation::new(ThreeState, init.clone(), seed);
+            sim.set_adversary(byz(spec));
+            sim.run(&opts);
+            (sim.counts().to_vec(), sim.rng_state())
+        };
+        assert_eq!(run_pw(5), run_pw(5), "{spec} pairwise");
+
+        let run_seq = |seed| {
+            let states = SeqTable::<ThreeState>::initial_states(&init);
+            let mut sim = Simulation::new(SeqTable::new(ThreeState), states, seed);
+            sim.set_adversary(byz(spec));
+            sim.run(&opts);
+            sim.states().to_vec()
+        };
+        assert_eq!(run_seq(5), run_seq(5), "{spec} seq");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted churn: the uniform spelling keeps RNG identity, and plurality
+// targeting visibly erodes the leader relative to uniform departures.
+
+#[test]
+fn uniform_target_churn_is_rng_identical_to_pr4_churn_on_all_engines() {
+    // `churn:J:L` (no target) must stay byte-identical to the pre-target
+    // implementation: same draws, same series, same final state.
+    let init = vec![0u64, 700, 300];
+    let spec: ChurnSpec = "churn:0.004:0.006".parse().expect("spec parses");
+    assert_eq!(spec.target, exact_plurality::engine::ChurnTarget::Uniform);
+    let churn = ChurnProcess::new(spec);
+    let legacy = ChurnProcess::new(ChurnSpec {
+        join: 0.004,
+        leave: 0.006,
+        ..ChurnSpec::default()
+    });
+    let opts = RunOptions {
+        max_interactions: u64::MAX,
+        check_every: 0,
+    };
+
+    let mut a = BatchSimulation::new(ThreeState, init.clone(), 17);
+    let mut b = BatchSimulation::new(ThreeState, init.clone(), 17);
+    let (ra, rb) = (
+        a.run_churned(&opts, &churn, &init, 50.0),
+        b.run_churned(&opts, &legacy, &init, 50.0),
+    );
+    assert_eq!(ra.interactions, rb.interactions);
+    assert_eq!(a.counts(), b.counts());
+    assert_eq!(a.rng_state(), b.rng_state());
+
+    let mut a = PairwiseBatchSimulation::new(ThreeState, init.clone(), 17);
+    let mut b = PairwiseBatchSimulation::new(ThreeState, init.clone(), 17);
+    a.run_churned(&opts, &churn, &init, 50.0);
+    b.run_churned(&opts, &legacy, &init, 50.0);
+    assert_eq!(a.counts(), b.counts());
+    assert_eq!(a.rng_state(), b.rng_state());
+
+    let states = SeqTable::<ThreeState>::initial_states(&init);
+    let mut a = Simulation::new(SeqTable::new(ThreeState), states.clone(), 17);
+    let mut b = Simulation::new(SeqTable::new(ThreeState), states.clone(), 17);
+    a.run_churned(&opts, &churn, &states, 50.0);
+    b.run_churned(&opts, &legacy, &states, 50.0);
+    assert_eq!(a.states(), b.states());
+}
+
+/// Two frozen opinion classes: interactions change nothing, so any drift
+/// in the class split is attributable to churn alone.
+#[derive(Debug, Clone)]
+struct Frozen;
+impl TableProtocol for Frozen {
+    fn states(&self) -> usize {
+        2
+    }
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+    fn delta(&self, a: usize, b: usize, _rng: &mut SimRng) -> (usize, usize) {
+        (a, b)
+    }
+    fn output(&self, _counts: &[u64]) -> Option<u32> {
+        None
+    }
+    fn opinion(&self, s: usize) -> Option<u32> {
+        Some(s as u32 + 1)
+    }
+}
+
+#[test]
+fn plurality_targeted_churn_erodes_the_leader_faster_than_uniform() {
+    // Join-free, leave-only processes on a frozen 70/30 split: uniform
+    // departures preserve the split in expectation, while plurality
+    // targeting culls whichever class currently leads, dragging the
+    // leader's share toward one half — on all three engines. Minority
+    // targeting does the opposite and purifies the leader.
+    let init = vec![700u64, 300];
+    let opts = RunOptions {
+        max_interactions: u64::MAX,
+        check_every: 0,
+    };
+    let horizon = 20.0;
+    let targeted = ChurnProcess::new("churn:0:0.05:plurality".parse().expect("spec parses"));
+    let uniform = ChurnProcess::new("churn:0:0.05".parse().expect("spec parses"));
+    let minority = ChurnProcess::new("churn:0:0.05:minority".parse().expect("spec parses"));
+
+    let share_batch = |churn: &ChurnProcess| {
+        let mut sim = BatchSimulation::new(Frozen, init.clone(), 9);
+        sim.run_churned(&opts, churn, &init, horizon);
+        sim.counts()[0] as f64 / sim.counts().iter().sum::<u64>() as f64
+    };
+    let share_pw = |churn: &ChurnProcess| {
+        let mut sim = PairwiseBatchSimulation::new(Frozen, init.clone(), 9);
+        sim.run_churned(&opts, churn, &init, horizon);
+        sim.counts()[0] as f64 / sim.counts().iter().sum::<u64>() as f64
+    };
+    let share_seq = |churn: &ChurnProcess| {
+        let states = SeqTable::<Frozen>::initial_states(&init);
+        let mut sim = Simulation::new(SeqTable::new(Frozen), states.clone(), 9);
+        sim.run_churned(&opts, churn, &states, horizon);
+        let n = sim.states().len() as f64;
+        sim.states().iter().filter(|&&s| s == 0).count() as f64 / n
+    };
+    for (engine, share) in [
+        ("batch", &share_batch as &dyn Fn(&ChurnProcess) -> f64),
+        ("pairwise", &share_pw),
+        ("seq", &share_seq),
+    ] {
+        let (t, u, m) = (share(&targeted), share(&uniform), share(&minority));
+        assert!(
+            t < u - 0.05,
+            "{engine}: plurality-targeted share {t} not below uniform {u}"
+        );
+        assert!(
+            m > u + 0.05,
+            "{engine}: minority-targeted share {m} not above uniform {u}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint/restore: a killed-and-resumed churned run replays exactly.
 
 #[test]
@@ -159,6 +386,7 @@ fn checkpoint_resume_reproduces_uninterrupted_churned_run_on_batch_engine() {
     let churn = ChurnProcess::new(ChurnSpec {
         join: 0.002,
         leave: 0.002,
+        ..ChurnSpec::default()
     });
     let opts = RunOptions {
         max_interactions: u64::MAX,
@@ -173,7 +401,7 @@ fn checkpoint_resume_reproduces_uninterrupted_churned_run_on_batch_engine() {
     let ck = Checkpoint::of_batch(&first, &init, &r1.series);
     // Round-trip through the on-disk text format, as a real resume would.
     let ck = Checkpoint::from_text(&ck.to_text()).expect("checkpoint parses");
-    let mut resumed = ck.restore_batch(ThreeState);
+    let mut resumed = ck.restore_batch(ThreeState).expect("restore");
     let r2 = resumed.run_churned(&opts, &churn, &init, 60.0);
 
     assert_eq!(full.counts(), resumed.counts());
@@ -196,6 +424,7 @@ fn checkpoint_resume_reproduces_uninterrupted_churned_run_on_seq_engine() {
     let churn = ChurnProcess::new(ChurnSpec {
         join: 0.005,
         leave: 0.005,
+        ..ChurnSpec::default()
     });
     let opts = RunOptions {
         max_interactions: u64::MAX,
@@ -209,7 +438,7 @@ fn checkpoint_resume_reproduces_uninterrupted_churned_run_on_seq_engine() {
     let r1 = first.run_churned(&opts, &churn, &states, 20.0);
     let ck = Checkpoint::of_seq(&first, &init, &r1.series);
     let ck = Checkpoint::from_text(&ck.to_text()).expect("checkpoint parses");
-    let mut resumed = ck.restore_seq(ThreeState);
+    let mut resumed = ck.restore_seq(ThreeState).expect("restore");
     let r2 = resumed.run_churned(&opts, &churn, &states, 40.0);
 
     assert_eq!(full.states(), resumed.states());
@@ -225,6 +454,7 @@ fn churn_never_drains_the_population_below_two() {
     let churn = ChurnProcess::new(ChurnSpec {
         join: 0.0,
         leave: 0.5,
+        ..ChurnSpec::default()
     });
     let opts = RunOptions {
         max_interactions: u64::MAX,
