@@ -1,0 +1,198 @@
+//! Records `ppd`'s service throughput into `BENCH_serve.json` — the
+//! committed snapshot behind the "queries are free, the simulation
+//! keeps its rate" acceptance claim.
+//!
+//! One in-process service (3-state majority, free-running batch
+//! engine) behind the real TCP front end, measured on three axes at
+//! once:
+//!
+//! * `queries_per_sec` — concurrent client connections hammering
+//!   `census`/`status`/`plurality` round-trips while the simulation
+//!   free-runs; queries are answered from the published snapshot, so
+//!   this axis must not dent the next one,
+//! * `sim_interactions_per_sec` — the engine's own rate over the same
+//!   measurement window, read from the service counters,
+//! * `checkpoint_mean_ms` and `ingest_roundtrips_per_sec` — the
+//!   mutation path: atomic snapshot writes and live admissions, each a
+//!   round-trip through the simulation thread.
+//!
+//! Usage: `cargo run --release -p plurality-bench --bin bench_serve
+//! [-- --quick] [-- path/to/BENCH_serve.json]`
+//!
+//! `--quick` shrinks the population and the window for CI smoke runs;
+//! the committed numbers come from the full run (`n = 10⁶`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pp_majority::ThreeState;
+use pp_serve::{Response, ServerHandle, Service, ServiceConfig};
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect to ppd");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        Conn {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.writer.flush().expect("flush request");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read response");
+        assert!(resp.contains("\"ok\":true"), "request failed: {resp}");
+        resp
+    }
+}
+
+fn main() {
+    let mut path = "BENCH_serve.json".to_string();
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            path = arg;
+        }
+    }
+    let n: u64 = if quick { 100_000 } else { 1_000_000 };
+    let window = if quick { 0.5 } else { 3.0 };
+    let clients = if quick { 2 } else { 4 };
+
+    let dir = std::env::temp_dir().join(format!("bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let a = 2 * n / 3;
+    let service = Service::spawn(
+        ThreeState,
+        ServiceConfig {
+            initial: vec![0, a, n - a],
+            seed: 42,
+            checkpoint_path: Some(dir.join("bench.ckpt")),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("spawn service");
+    let server = ServerHandle::bind("127.0.0.1:0", &service, clients + 1).expect("bind server");
+    let addr = server.addr();
+    let stats = service.stats();
+
+    // Let the free-running engine reach steady state before measuring.
+    let warmup = Instant::now();
+    while stats.interactions.load(Ordering::Relaxed) < n {
+        assert!(
+            warmup.elapsed() < Duration::from_secs(30),
+            "simulation made no progress"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Query throughput and simulation rate over the same window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let i0 = stats.interactions.load(Ordering::Relaxed);
+    let mut churners = Vec::new();
+    for c in 0..clients {
+        let stop = Arc::clone(&stop);
+        churners.push(std::thread::spawn(move || {
+            let mut conn = Conn::open(addr);
+            let mix = [
+                "{\"cmd\":\"census\"}",
+                "{\"cmd\":\"status\"}",
+                "{\"cmd\":\"plurality\"}",
+            ];
+            let mut count = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                conn.ask(mix[(c + count as usize) % mix.len()]);
+                count += 1;
+            }
+            count
+        }));
+    }
+    std::thread::sleep(Duration::from_secs_f64(window));
+    stop.store(true, Ordering::Relaxed);
+    let queries: u64 = churners
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .sum();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let i1 = stats.interactions.load(Ordering::Relaxed);
+    let queries_per_sec = queries as f64 / elapsed;
+    let sim_rate = (i1 - i0) as f64 / elapsed;
+
+    // The mutation path: checkpoints and ingest, round-trips through
+    // the simulation thread.
+    let mut conn = Conn::open(addr);
+    for _ in 0..3 {
+        conn.ask("{\"cmd\":\"checkpoint\"}");
+    }
+    let checkpoint_mean_ms = stats.metrics().checkpoint_mean_ms;
+
+    let ingest_window = if quick { 0.2 } else { 1.0 };
+    let t0 = Instant::now();
+    let mut ingests = 0u64;
+    while t0.elapsed().as_secs_f64() < ingest_window {
+        conn.ask("{\"cmd\":\"ingest\",\"opinion\":2,\"count\":10}");
+        ingests += 1;
+    }
+    let ingest_rps = ingests as f64 / t0.elapsed().as_secs_f64();
+
+    let resp = conn.ask("{\"cmd\":\"shutdown\"}");
+    assert_eq!(
+        Response::parse(&resp).expect("parse shutdown ack"),
+        Response::ShutDown
+    );
+    server.join();
+    service.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("service throughput on 3-state majority, n={n}, {clients} client connections:");
+    println!("  queries/sec:           {}", human(queries_per_sec));
+    println!("  sim interactions/sec:  {}", human(sim_rate));
+    println!("  checkpoint mean:       {checkpoint_mean_ms:.2} ms");
+    println!("  ingest round-trips/s:  {}", human(ingest_rps));
+    if !quick {
+        println!(
+            "acceptance (n=1e6): queries/sec >= 10k: {}, sim >= 100M/s: {}",
+            queries_per_sec >= 10_000.0,
+            sim_rate >= 100_000_000.0
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"protocol\": \"three_state_majority\",\n  \"engine\": \"batch_multinomial\",\n  \
+         \"mode\": \"{}\",\n  \"n\": {n},\n  \"client_connections\": {clients},\n  \
+         \"window_secs\": {window},\n  \
+         \"generated_by\": \"cargo run --release -p plurality-bench --bin bench_serve\",\n  \
+         \"queries_per_sec\": {queries_per_sec:.0},\n  \
+         \"sim_interactions_per_sec\": {sim_rate:.0},\n  \
+         \"checkpoint_mean_ms\": {checkpoint_mean_ms:.3},\n  \
+         \"ingest_roundtrips_per_sec\": {ingest_rps:.0}\n}}\n",
+        if quick { "quick" } else { "full" }
+    );
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    eprintln!("wrote {path}");
+}
+
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else {
+        format!("{:.1}K", x / 1e3)
+    }
+}

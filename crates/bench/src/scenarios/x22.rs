@@ -20,7 +20,7 @@
 use std::io;
 
 use pp_engine::{
-    rng, BatchSimulation, Checkpoint, ChurnProcess, ChurnSample, ChurnSpec, RunOptions,
+    rng, BatchSimulation, Checkpoint, ChurnProcess, ChurnSample, ChurnSpec, SegmentRunner,
 };
 use pp_majority::ThreeState;
 use pp_stats::Table;
@@ -49,13 +49,9 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
     // so the soak keeps a plurality to track.
     let a = 2 * n / 3;
     let init = vec![0u64, a, n - a];
-    let opts = RunOptions {
-        max_interactions: u64::MAX,
-        check_every: 0,
-    };
     let every = ctx.opts.checkpoint_every.unwrap_or(f64::INFINITY);
 
-    let (mut sim, mut series) = match &ctx.opts.resume {
+    let mut runner = match &ctx.opts.resume {
         Some(path) => {
             let ck = Checkpoint::read(path)?;
             if ctx.sink.verbose {
@@ -66,39 +62,33 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
                     ck.series.len()
                 );
             }
-            (ck.restore_batch(ThreeState)?, ck.series)
+            SegmentRunner::from_checkpoint(&ck, ThreeState, churn)?
         }
-        None => (
+        None => SegmentRunner::new(
             BatchSimulation::new(ThreeState, init.clone(), rng::derive(ctx.opts.seed, 2_200)),
-            Vec::new(),
+            churn,
+            init,
         ),
     };
 
-    // Segment boundaries are absolute multiples of `every`, derived from
+    // `drive` cuts segments at absolute multiples of `every`, derived from
     // the live clock — a resumed run recomputes exactly the boundaries the
     // uninterrupted run used, so the stitched series is bit-identical.
-    while sim.parallel_time() < horizon {
-        let clock = sim.parallel_time();
-        let stop = if every.is_finite() {
-            (((clock / every).floor() + 1.0) * every).min(horizon)
-        } else {
-            horizon
-        };
-        let r = sim.run_churned(&opts, &churn, &init, stop);
-        series.extend(r.series);
-        if every.is_finite() && stop < horizon {
-            let path = ctx.opts.out_dir.join(format!("x22_t{stop}.ckpt"));
-            Checkpoint::of_batch(&sim, &init, &series).write(&path)?;
-            if ctx.sink.verbose {
-                eprintln!("  [x22] checkpoint: {}", path.display());
-            }
+    let out_dir = ctx.opts.out_dir.clone();
+    let verbose = ctx.sink.verbose;
+    runner.drive(horizon, every, |r, stop| {
+        let path = out_dir.join(format!("x22_t{stop}.ckpt"));
+        r.checkpoint().write(&path)?;
+        if verbose {
+            eprintln!("  [x22] checkpoint: {}", path.display());
         }
-    }
+        Ok(())
+    })?;
 
-    ctx.emit_csv_only("x22_churn_series", &series_table(&series))?;
+    ctx.emit_csv_only("x22_churn_series", &series_table(runner.series()))?;
     ctx.emit(
         "x22_churn_summary",
-        &summary_table(n, horizon, spec, &series, &sim),
+        &summary_table(n, horizon, spec, runner.series(), runner.sim()),
     )?;
     println!(
         "Read: under symmetric churn the population random-walks around n while the plurality \

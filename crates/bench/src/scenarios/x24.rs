@@ -19,7 +19,7 @@
 
 use std::io;
 
-use pp_engine::{rng, BatchSimulation, ChurnProcess, ChurnSample, ChurnSpec, RunOptions};
+use pp_engine::{rng, BatchSimulation, ChurnProcess, ChurnSample, ChurnSpec, SegmentRunner};
 use pp_majority::ThreeState;
 use pp_stats::Table;
 
@@ -47,10 +47,6 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
     // 2:1 support over {blank, A, B}, as in x22.
     let a = 2 * n / 3;
     let init = vec![0u64, a, n - a];
-    let opts = RunOptions {
-        max_interactions: u64::MAX,
-        check_every: 0,
-    };
 
     let mut table = Table::new(
         "X24: churn soak by departure target",
@@ -77,13 +73,17 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
         // One seed stream per target: the targets see *different* draw
         // sequences by construction (targeting consumes extra randomness),
         // so per-target streams keep the comparison honest across reruns.
-        let mut sim = BatchSimulation::new(
-            ThreeState,
+        let mut runner = SegmentRunner::new(
+            BatchSimulation::new(
+                ThreeState,
+                init.clone(),
+                rng::derive(ctx.opts.seed, 2_400 + i as u64),
+            ),
+            churn,
             init.clone(),
-            rng::derive(ctx.opts.seed, 2_400 + i as u64),
         );
-        let r = sim.run_churned(&opts, &churn, &init, horizon);
-        let series: &[ChurnSample] = &r.series;
+        runner.advance_to(horizon);
+        let series: &[ChurnSample] = runner.series();
         let samples = series.len();
         let mean_frac = series.iter().map(|s| s.plurality_frac).sum::<f64>() / samples as f64;
         table.push(vec![
@@ -93,7 +93,7 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
             format!("{}", spec.join),
             format!("{}", spec.leave),
             samples.to_string(),
-            sim.counts().iter().sum::<u64>().to_string(),
+            runner.sim().counts().iter().sum::<u64>().to_string(),
             format!("{mean_frac:.4}"),
             col::time_in_consensus(series),
         ]);

@@ -49,6 +49,9 @@ pub struct BatchSimulation<P: TableProtocol> {
     n: u64,
     rng: SimRng,
     interactions: u64,
+    /// Batches applied so far (a process-local throughput metric; not part
+    /// of the checkpointed state).
+    batches: u64,
     /// Parallel time accumulated before `interactions_base` — non-zero only
     /// after churn changed the population size.
     time_base: f64,
@@ -101,6 +104,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
             n,
             rng: SimRng::seed_from_u64(seed),
             interactions: 0,
+            batches: 0,
             time_base: 0.0,
             interactions_base: 0,
             deterministic,
@@ -200,6 +204,36 @@ impl<P: TableProtocol> BatchSimulation<P> {
         self.interactions
     }
 
+    /// Batches applied so far. A process-local metric (service dashboards,
+    /// throughput accounting); it is *not* checkpointed state and restarts
+    /// at zero on restore.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Add `count` fresh agents in `state` to the live population — the
+    /// ingest path of a long-running service. Uses the same clock-folding
+    /// bookkeeping as churn joins, and draws no randomness, so the engine's
+    /// RNG stream is exactly the stream of the ingest-free run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is outside the protocol's state space.
+    pub fn admit(&mut self, state: usize, count: u64) {
+        assert!(
+            state < self.counts.len(),
+            "admit state {state} outside 0..{}",
+            self.counts.len()
+        );
+        if count == 0 {
+            return;
+        }
+        self.fold_clock();
+        self.counts[state] += count;
+        self.n += count;
+        self.tree = Fenwick::from_weights(&self.counts);
+    }
+
     /// Parallel time elapsed: interactions divided by the population size,
     /// folded over population changes (churn) so the clock stays
     /// continuous.
@@ -253,6 +287,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
     /// draw overdrew a nearly-empty state) are redrawn; after
     /// [`MAX_TALLY_RETRIES`] misses the batch is applied pair by pair.
     fn apply_batch(&mut self, len: u64) {
+        self.batches += 1;
         self.refresh_lie();
         match self.scheduler.clone() {
             None => {
@@ -1301,5 +1336,47 @@ pub(crate) mod tests {
     #[should_panic]
     fn mismatched_counts_rejected() {
         let _ = BatchSimulation::new(Epi, vec![1, 1, 1], 0);
+    }
+
+    #[test]
+    fn admit_grows_the_population_without_touching_the_rng() {
+        let mut sim = BatchSimulation::new(Am3, vec![0, 600, 400], 17);
+        for _ in 0..10 {
+            sim.step_batch();
+        }
+        let rng_before = sim.rng_state();
+        let t_before = sim.parallel_time();
+        sim.admit(2, 250);
+        assert_eq!(sim.rng_state(), rng_before, "admit must draw no randomness");
+        assert_eq!(sim.counts().iter().sum::<u64>(), 1250);
+        assert_eq!(sim.n(), 1250);
+        // The clock folds: parallel time is continuous across the admit.
+        assert_eq!(sim.parallel_time(), t_before);
+        // Admitting zero agents is a true no-op.
+        let snap = sim.counts().to_vec();
+        sim.admit(0, 0);
+        assert_eq!(sim.counts(), &snap[..]);
+        // The admitted agents participate: the clock advances at the new
+        // population's rate and counts keep summing to the grown total.
+        sim.step_batch();
+        assert_eq!(sim.counts().iter().sum::<u64>(), 1250);
+        assert!(sim.parallel_time() > t_before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn admit_rejects_out_of_range_states() {
+        let mut sim = BatchSimulation::new(Am3, vec![0, 600, 400], 17);
+        sim.admit(3, 1);
+    }
+
+    #[test]
+    fn batches_counter_tracks_applied_batches() {
+        let mut sim = BatchSimulation::new(Am3, vec![0, 600, 400], 17);
+        assert_eq!(sim.batches(), 0);
+        for _ in 0..5 {
+            sim.step_batch();
+        }
+        assert_eq!(sim.batches(), 5);
     }
 }

@@ -351,16 +351,31 @@ impl Checkpoint {
         })
     }
 
-    /// Write the checkpoint to `path`.
+    /// Write the checkpoint to `path` atomically: the bytes go to a `.tmp`
+    /// sibling first, are fsynced, and only then renamed over `path`. A
+    /// crash at any instant therefore leaves either the previous complete
+    /// checkpoint or the new complete one — a torn half-write is never
+    /// observable at `path`.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write(&self, path: &Path) -> io::Result<()> {
         if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir)?;
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
         }
-        fs::write(path, self.to_text())
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        {
+            use std::io::Write as _;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)
     }
 
     /// Read a checkpoint from `path`.
@@ -488,6 +503,35 @@ mod tests {
         assert!(seq.restore_seq(Am3).is_err());
         seq.states = vec![1, 1, 2];
         assert!(seq.restore_seq(Am3).is_ok());
+    }
+
+    #[test]
+    fn torn_writes_are_never_observed_by_read() {
+        let dir = std::env::temp_dir().join(format!("ppckpt-torn-{}", std::process::id()));
+        let path = dir.join("soak.ckpt");
+        let v1 = demo_checkpoint();
+        v1.write(&path).expect("write v1");
+        // The atomic write leaves no temporary file behind.
+        assert!(!dir.join("soak.ckpt.tmp").exists());
+
+        // Simulate a crash mid-way through writing the *next* checkpoint:
+        // the victim of a torn write is the .tmp sibling, never `path`.
+        let mut v2 = v1.clone();
+        v2.interactions = 99_999;
+        let torn = &v2.to_text()[..v2.to_text().len() / 2];
+        fs::write(dir.join("soak.ckpt.tmp"), torn).expect("plant torn tmp");
+        let seen = Checkpoint::read(&path).expect("read after torn tmp");
+        assert_eq!(seen, v1, "a torn write must never corrupt the live file");
+
+        // And had the kill happened before any checkpoint completed, the
+        // torn bytes themselves are rejected with a typed error, no panic.
+        assert!(Checkpoint::from_text(torn).is_err());
+
+        // A completed second write atomically replaces the first.
+        v2.write(&path).expect("write v2");
+        assert_eq!(Checkpoint::read(&path).expect("read v2"), v2);
+        assert!(!dir.join("soak.ckpt.tmp").exists());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

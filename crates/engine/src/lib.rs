@@ -101,6 +101,7 @@ pub mod pair;
 pub mod protocol;
 pub mod result;
 pub mod rng;
+pub mod segment;
 pub mod sim;
 pub mod table_seq;
 
@@ -116,5 +117,6 @@ pub use fault::{
 };
 pub use protocol::{Protocol, SimRng};
 pub use result::{ChurnSample, RunNote, RunOptions, RunResult, RunStatus};
+pub use segment::SegmentRunner;
 pub use sim::Simulation;
 pub use table_seq::SeqTable;

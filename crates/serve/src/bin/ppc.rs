@@ -1,0 +1,69 @@
+//! `ppc` — a one-shot line client for `ppd`.
+//!
+//! ```text
+//! ppc ADDR [REQUEST ...]
+//! ```
+//!
+//! Sends each `REQUEST` argument (a raw protocol line, e.g.
+//! `{"cmd":"status"}`) over one connection, printing each response
+//! line to stdout. With no request arguments, lines are read from
+//! stdin instead — `ppc 127.0.0.1:7341 < script.ndjson`. Exits 0 when
+//! every request got a response line and none was a protocol error.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn run() -> io::Result<bool> {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        return Err(io::Error::other("usage: ppc ADDR [REQUEST ...]"));
+    };
+    let requests: Vec<String> = args.collect();
+
+    let stream = TcpStream::connect(&addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut all_ok = true;
+
+    let mut roundtrip = |line: &str| -> io::Result<()> {
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        let mut resp = String::new();
+        if reader.read_line(&mut resp)? == 0 {
+            return Err(io::Error::other("connection closed before a response"));
+        }
+        print!("{resp}");
+        if resp.contains("\"ok\":false") {
+            all_ok = false;
+        }
+        Ok(())
+    };
+
+    if requests.is_empty() {
+        for line in io::stdin().lock().lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            roundtrip(&line)?;
+        }
+    } else {
+        for line in &requests {
+            roundtrip(line)?;
+        }
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("ppc: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

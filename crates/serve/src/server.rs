@@ -1,0 +1,294 @@
+//! The network half of `ppd`: a `std::net` listener and a worker pool.
+//!
+//! The workspace runs with no external dependencies, so there is no
+//! async runtime here — just an acceptor thread handing sockets to a
+//! fixed pool of workers over a channel. Each worker owns one
+//! connection at a time and speaks the newline-delimited protocol:
+//! read a line, answer a line, never drop the socket over a malformed
+//! request.
+//!
+//! Everything blocking carries a short read timeout so the threads can
+//! poll the shared stop flag: a worker parked in `read_line` notices a
+//! shutdown within a quarter second and closes its connection after
+//! finishing the request in flight. The acceptor is unblocked
+//! explicitly — whoever raises the stop flag calls
+//! [`ServerHandle::wake`], which makes a throwaway connection to the
+//! listening socket so `accept` returns and the acceptor sees the flag.
+//!
+//! Queries (`census`, `plurality`, `status`, `metrics`) are answered
+//! entirely inside the worker from the service's published snapshot;
+//! only mutations cross into the simulation thread. See
+//! [`service`](crate::service) for that split.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::proto::{Request, Response};
+use crate::service::{Ctl, Service, Snapshot};
+use crate::stats::ServiceStats;
+
+/// How long a blocked read waits before re-checking the stop flag.
+const POLL: Duration = Duration::from_millis(250);
+
+/// How long a worker waits for the simulation thread to answer a
+/// mutation before giving up on the request.
+const CTL_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Everything a worker needs to answer requests.
+#[derive(Clone)]
+struct Shared {
+    stats: Arc<ServiceStats>,
+    snapshot: Arc<RwLock<Snapshot>>,
+    ctl: Sender<Ctl>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+/// A running front end: acceptor thread plus worker pool.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Bind `addr` and start serving the protocol for `service` with
+    /// `workers` connection-handling threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen errors, and thread-spawn failures.
+    pub fn bind(addr: &str, service: &Service, workers: usize) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Shared {
+            stats: service.stats(),
+            snapshot: service.snapshot_cell(),
+            ctl: service.ctl(),
+            stop: service.stop_flag(),
+            addr: local,
+        };
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut pool = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let shared = shared.clone();
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("ppd-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))?,
+            );
+        }
+
+        let stop = Arc::clone(&shared.stop);
+        let acceptor = std::thread::Builder::new()
+            .name("ppd-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if conn_tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Dropping conn_tx disconnects the pool's receiver, so
+                // idle workers exit without waiting for their poll tick.
+            })?;
+
+        Ok(ServerHandle {
+            addr: local,
+            acceptor,
+            workers: pool,
+            stop: Arc::clone(&shared.stop),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Unblock the acceptor after the stop flag is raised: a throwaway
+    /// connection makes `accept` return so the thread re-checks the
+    /// flag. Harmless if the acceptor already exited.
+    pub fn wake(&self) {
+        if self.stop.load(Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Wait for the acceptor and every worker to exit. Workers finish
+    /// the request they are serving before closing their connections.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
+    loop {
+        // Hold the lock only to receive; `recv_timeout` lets idle
+        // workers poll the stop flag.
+        let conn = {
+            let guard = rx.lock().expect("connection queue lock");
+            guard.recv_timeout(POLL)
+        };
+        match conn {
+            Ok(stream) => serve_conn(stream, shared),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Speak the protocol over one connection until EOF, error, or stop.
+fn serve_conn(stream: TcpStream, shared: &Shared) {
+    // A request/response line protocol stalls badly under Nagle +
+    // delayed ACK (40ms per round-trip); flush segments immediately.
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` appends across timeouts, so a line arriving in
+        // pieces still comes out whole: clear only after processing.
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let resp = process(&line, shared);
+                    let shutting = matches!(resp, Response::ShutDown);
+                    if writeln!(writer, "{}", resp.to_json()).is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                    if shutting {
+                        // The stop flag is already up (the sim thread
+                        // raises it before acknowledging); free the
+                        // acceptor so the whole front end can drain.
+                        let _ = TcpStream::connect(shared.addr);
+                        return;
+                    }
+                }
+                line.clear();
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer one request line. Every path produces a response line — a
+/// malformed request is an error response, never a dropped connection.
+fn process(line: &str, shared: &Shared) -> Response {
+    ServiceStats::bump(&shared.stats.requests);
+    let resp = match Request::parse(line) {
+        Ok(req) => dispatch(req, shared),
+        Err(e) => e.into(),
+    };
+    if matches!(resp, Response::Error { .. }) {
+        ServiceStats::bump(&shared.stats.errors);
+    }
+    resp
+}
+
+fn dispatch(req: Request, shared: &Shared) -> Response {
+    match req {
+        // Queries: answered from the published snapshot, no round-trip
+        // into the simulation thread.
+        Request::Census => {
+            let snap = shared.snapshot.read().expect("snapshot lock").clone();
+            Response::Census {
+                t: snap.t,
+                population: snap.population,
+                census: snap.census,
+            }
+        }
+        Request::Plurality => {
+            let snap = shared.snapshot.read().expect("snapshot lock").clone();
+            let (opinion, frac) = snap.plurality();
+            Response::Plurality {
+                t: snap.t,
+                opinion,
+                frac,
+                exact: snap.output.is_some(),
+            }
+        }
+        Request::Status => {
+            let snap = shared.snapshot.read().expect("snapshot lock").clone();
+            Response::Status {
+                t: snap.t,
+                population: snap.population,
+                interactions: snap.interactions,
+                consensus: snap.output.is_some(),
+                output: snap.output,
+                time_in_consensus: snap.time_in_consensus,
+                ingested: snap.ingested,
+            }
+        }
+        Request::Metrics => Response::Metrics(shared.stats.metrics()),
+        // Mutations: one message to the simulation thread, one reply.
+        Request::Ingest { opinion, count } => mutate(shared, |reply| Ctl::Ingest {
+            opinion,
+            count,
+            reply,
+        }),
+        Request::Checkpoint => mutate(shared, |reply| Ctl::Checkpoint { reply }),
+        Request::Step { time } => mutate(shared, |reply| Ctl::Step { time, reply }),
+        Request::Shutdown => mutate(shared, |reply| Ctl::Shutdown { reply }),
+    }
+}
+
+fn mutate(shared: &Shared, msg: impl FnOnce(Sender<Response>) -> Ctl) -> Response {
+    let (tx, rx) = mpsc::channel();
+    if shared.ctl.send(msg(tx)).is_err() {
+        return Response::Error {
+            error: "service is shutting down".to_string(),
+        };
+    }
+    match rx.recv_timeout(CTL_TIMEOUT) {
+        Ok(resp) => resp,
+        Err(_) => Response::Error {
+            error: "simulation thread did not answer in time".to_string(),
+        },
+    }
+}

@@ -1,0 +1,291 @@
+//! End-to-end tests driving the real `ppd` binary over TCP.
+//!
+//! Three contracts from the service's spec sheet:
+//!
+//! * **Smoke**: a fresh daemon serves ingest/census/plurality/status/
+//!   metrics and exits 0 on `shutdown`.
+//! * **Kill–resume**: SIGKILL the daemon, restart with `--resume`, and
+//!   the population continues byte-identically from the checkpoint
+//!   boundary — the same census a never-killed daemon reports, with a
+//!   monotone parallel clock across the kill.
+//! * **Determinism**: same seed, same request trace (in `--lockstep`
+//!   mode, where the clock belongs to the client) ⇒ byte-identical
+//!   response lines across independent daemon processes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A `ppd` process plus one protocol connection to it.
+struct Daemon {
+    child: Child,
+    conn: Option<Conn>,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Daemon {
+    /// Start `ppd --port 0 <args>` and connect; the bound address is
+    /// scraped from the daemon's single stdout line.
+    fn start<I, S>(args: I) -> Daemon
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<std::ffi::OsStr>,
+    {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ppd"))
+            .arg("--port")
+            .arg("0")
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn ppd");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read the listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("ppd listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+            .to_string();
+        let stream = TcpStream::connect(&addr).expect("connect to ppd");
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        Daemon {
+            child,
+            conn: Some(Conn {
+                reader: BufReader::new(stream.try_clone().expect("clone")),
+                writer: stream,
+            }),
+        }
+    }
+
+    /// One request line, one response line.
+    fn ask(&mut self, line: &str) -> String {
+        let conn = self.conn.as_mut().expect("connection open");
+        writeln!(conn.writer, "{line}").expect("write request");
+        conn.writer.flush().expect("flush");
+        let mut resp = String::new();
+        conn.reader.read_line(&mut resp).expect("read response");
+        assert!(
+            resp.ends_with('\n'),
+            "connection closed mid-request for {line:?}"
+        );
+        resp.trim_end().to_string()
+    }
+
+    /// `shutdown`, then require a clean exit 0.
+    fn shutdown(mut self) {
+        let resp = self.ask("{\"cmd\":\"shutdown\"}");
+        assert!(resp.contains("\"type\":\"shutdown\""), "{resp}");
+        drop(self.conn.take());
+        let status = wait_timeout(&mut self.child, Duration::from_secs(30));
+        assert!(status.success(), "ppd exited with {status:?}");
+    }
+
+    /// SIGKILL — no warning, no cleanup; the crash the checkpoint
+    /// layer must survive.
+    fn kill(mut self) {
+        drop(self.conn.take());
+        self.child.kill().expect("SIGKILL ppd");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Portable bounded wait (std has no `wait_timeout`).
+fn wait_timeout(child: &mut Child, limit: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + limit;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "ppd did not exit in {limit:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppd-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Pull a JSON field's raw token out of a one-line response: good
+/// enough for tests that compare whole lines anyway.
+fn field<'a>(resp: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = resp.find(&pat).unwrap_or_else(|| panic!("{key} in {resp}")) + pat.len();
+    let rest = &resp[start..];
+    let end = rest
+        .char_indices()
+        .scan(0i32, |depth, (i, c)| {
+            match c {
+                '[' | '{' => *depth += 1,
+                ']' | '}' if *depth > 0 => *depth -= 1,
+                ',' | '}' | ']' if *depth == 0 => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+#[test]
+fn smoke_ingest_query_shutdown() {
+    let mut d = Daemon::start(["--n", "3000", "--seed", "11", "--segment", "0.25"]);
+
+    let resp = d.ask("{\"cmd\":\"status\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert_eq!(field(&resp, "population"), "3000");
+
+    let resp = d.ask("{\"cmd\":\"ingest\",\"opinion\":2,\"count\":500}");
+    assert!(resp.contains("\"type\":\"ingested\""), "{resp}");
+    assert_eq!(field(&resp, "population"), "3500");
+
+    let resp = d.ask("{\"cmd\":\"census\"}");
+    assert_eq!(field(&resp, "population"), "3500");
+
+    let resp = d.ask("{\"cmd\":\"plurality\"}");
+    assert!(resp.contains("\"type\":\"plurality\""), "{resp}");
+
+    // The free-running simulation makes observable progress.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = d.ask("{\"cmd\":\"status\"}");
+        if field(&resp, "interactions") != "0" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no interactions after 30s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let resp = d.ask("{\"cmd\":\"metrics\"}");
+    assert!(resp.contains("\"type\":\"metrics\""), "{resp}");
+    assert_ne!(field(&resp, "interactions"), "0");
+    assert_ne!(field(&resp, "segments"), "0");
+
+    d.shutdown();
+}
+
+#[test]
+fn kill_resume_continues_byte_identically_from_the_checkpoint() {
+    let dir = scratch("killresume");
+    let ckpt = dir.join("live.ckpt");
+    let ckpt_s = ckpt.to_str().expect("utf-8 path");
+    let base = |extra: &[&str]| -> Vec<String> {
+        [
+            "--n",
+            "4000",
+            "--seed",
+            "23",
+            "--lockstep",
+            "--churn",
+            "0.002",
+            "--checkpoint",
+            ckpt_s,
+        ]
+        .iter()
+        .chain(extra)
+        .map(|s| (*s).to_string())
+        .collect()
+    };
+
+    // Reference run: never killed, steps 6 then 6.
+    let mut a = Daemon::start(base(&[]));
+    a.ask("{\"cmd\":\"ingest\",\"opinion\":1,\"count\":250}");
+    a.ask("{\"cmd\":\"step\",\"time\":6}");
+    a.ask("{\"cmd\":\"step\",\"time\":6}");
+    let census_a = a.ask("{\"cmd\":\"census\"}");
+    let status_a = a.ask("{\"cmd\":\"status\"}");
+    a.kill();
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Victim run: same trace to t=6, checkpoint, SIGKILL mid-flight.
+    let mut b = Daemon::start(base(&[]));
+    b.ask("{\"cmd\":\"ingest\",\"opinion\":1,\"count\":250}");
+    b.ask("{\"cmd\":\"step\",\"time\":6}");
+    let t_before = field(&b.ask("{\"cmd\":\"status\"}"), "t").to_string();
+    let resp = b.ask("{\"cmd\":\"checkpoint\"}");
+    assert!(resp.contains("\"type\":\"checkpointed\""), "{resp}");
+    b.kill();
+
+    // Resume: the second step lands exactly where the reference did.
+    let mut c = Daemon::start(base(&["--resume", ckpt_s]));
+    let t_resumed: f64 = field(&c.ask("{\"cmd\":\"status\"}"), "t")
+        .parse()
+        .expect("t");
+    let t_before: f64 = t_before.parse().expect("t");
+    assert_eq!(
+        t_resumed.to_bits(),
+        t_before.to_bits(),
+        "resume must restart at the checkpoint's clock"
+    );
+    c.ask("{\"cmd\":\"step\",\"time\":6}");
+    let census_c = c.ask("{\"cmd\":\"census\"}");
+    let status_c = c.ask("{\"cmd\":\"status\"}");
+    assert_eq!(census_c, census_a, "census must stitch byte-identically");
+    // Status matches field-by-field except `ingested` (a per-process
+    // counter: the resumed daemon ingested nothing itself) and
+    // `interactions` (also per-process since the resume).
+    for key in [
+        "t",
+        "population",
+        "consensus",
+        "output",
+        "time_in_consensus",
+    ] {
+        assert_eq!(
+            field(&status_c, key),
+            field(&status_a, key),
+            "status field {key}: {status_c} vs {status_a}"
+        );
+    }
+    let t_final: f64 = field(&status_c, "t").parse().expect("t");
+    assert!(
+        t_final >= t_resumed,
+        "parallel time must be monotone across the kill"
+    );
+    c.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn same_seed_same_trace_same_bytes() {
+    let trace = [
+        "{\"cmd\":\"census\"}",
+        "{\"cmd\":\"step\",\"time\":2.5}",
+        "{\"cmd\":\"ingest\",\"opinion\":2,\"count\":777}",
+        "{\"cmd\":\"step\",\"time\":3.5}",
+        "{\"cmd\":\"census\"}",
+        "{\"cmd\":\"status\"}",
+        "{\"cmd\":\"plurality\"}",
+    ];
+    let run = || -> Vec<String> {
+        let mut d = Daemon::start(["--n", "2500", "--seed", "31", "--lockstep"]);
+        let out = trace.iter().map(|line| d.ask(line)).collect();
+        d.shutdown();
+        out
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "responses must be byte-identical across processes");
+}
