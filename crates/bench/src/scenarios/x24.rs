@@ -82,6 +82,8 @@ fn run(ctx: &mut Ctx) -> io::Result<()> {
             churn,
             init.clone(),
         );
+        // Serial over targets, so each soak gets the full thread budget.
+        runner.set_threads(ctx.opts.threads);
         runner.advance_to(horizon);
         let series: &[ChurnSample] = runner.series();
         let samples = series.len();

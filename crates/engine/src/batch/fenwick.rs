@@ -7,10 +7,48 @@
 //! prefix-sum fragments in the classic 1-indexed layout; sampling descends
 //! power-of-two strides, so a draw costs one bounded RNG word plus
 //! `⌈log₂ S⌉` adds.
+//!
+//! [`ShardedFenwick`] layers a two-level variant on top for the parallel
+//! engine: states are partitioned into fixed shards, each its own
+//! [`Fenwick`], with a top-level tree over shard totals. Full rebuilds
+//! (admit, churn, fault strikes) then parallelise over shards — each
+//! worker rebuilds the shards it owns and the `O(S log S)` serial rebuild
+//! leaves the hot path — while `add`/`index_of` keep the exact cumulative
+//! semantics of a flat tree: **for any `target`, a sharded tree and a flat
+//! tree over the same weights return the same index**, because both
+//! resolve the cumulative interval containing `target` in index order.
+//! That equivalence is what lets the chunked tally kernel use either view
+//! interchangeably without perturbing sampled streams.
 
 use rand::Rng;
 
 use crate::protocol::SimRng;
+
+/// States per shard in a [`ShardedFenwick`]. Small state spaces (the
+/// 3–4-state majority protocols) collapse to a single shard and behave
+/// exactly like a flat tree; only wide tables (USD at large `k`) fan out.
+const SHARD_STATES: usize = 256;
+
+/// Anything that maps a cumulative-weight target to a state index — the
+/// read-only interface the batch tally kernel samples through, satisfied
+/// by both [`Fenwick`] and [`ShardedFenwick`] with identical semantics.
+pub trait StateSampler {
+    /// Sum of all weights.
+    fn total_weight(&self) -> u64;
+
+    /// The index whose cumulative weight interval contains `target`
+    /// (`0 ≤ target < total`).
+    fn locate(&self, target: u64) -> usize;
+
+    /// Draw an index with probability proportional to its weight,
+    /// consuming exactly one bounded RNG word.
+    #[inline]
+    fn draw(&self, rng: &mut SimRng) -> usize {
+        let total = self.total_weight();
+        assert!(total > 0, "cannot sample from an empty distribution");
+        self.locate(rng.gen_range(0..total))
+    }
+}
 
 /// Fenwick tree over `u64` weights for weighted index sampling.
 #[derive(Debug, Clone)]
@@ -134,6 +172,168 @@ impl Fenwick {
     }
 }
 
+impl StateSampler for Fenwick {
+    #[inline]
+    fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    fn locate(&self, target: u64) -> usize {
+        self.index_of(target)
+    }
+}
+
+/// Two-level Fenwick census: states partitioned into [`SHARD_STATES`]-wide
+/// shards, each an independent [`Fenwick`], plus a top tree over shard
+/// totals. Point updates touch one shard and the top (`O(log S)` as
+/// before); full rebuilds fan shards out over scoped threads and merge the
+/// shard totals serially at the end.
+#[derive(Debug, Clone)]
+pub struct ShardedFenwick {
+    /// Per-shard trees; all but the last cover exactly `shard_len` states.
+    shards: Vec<Fenwick>,
+    /// States per shard.
+    shard_len: usize,
+    /// Tree over shard totals, merged after every rebuild.
+    top: Fenwick,
+    /// Number of states.
+    len: usize,
+}
+
+impl ShardedFenwick {
+    /// Build from per-index weights (serial; use [`Self::rebuild`] with a
+    /// thread count to parallelise subsequent rebuilds).
+    pub fn from_weights(weights: &[u64]) -> Self {
+        let len = weights.len();
+        assert!(len > 0, "Fenwick tree needs at least one weight");
+        let shard_len = SHARD_STATES;
+        let shards: Vec<Fenwick> = weights
+            .chunks(shard_len)
+            .map(Fenwick::from_weights)
+            .collect();
+        let totals: Vec<u64> = shards.iter().map(Fenwick::total).collect();
+        let top = Fenwick::from_weights(&totals);
+        Self {
+            shards,
+            shard_len,
+            top,
+            len,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the tree covers no weights (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u64 {
+        self.top.total()
+    }
+
+    /// Rebuild every shard from `weights`, fanning shards out over up to
+    /// `threads` scoped workers; shard totals merge serially at the end.
+    /// The result is a pure function of `weights` — identical at any
+    /// thread count — because each shard is rebuilt from the same slice
+    /// regardless of which worker owns it.
+    pub fn rebuild(&mut self, weights: &[u64], threads: usize) {
+        assert_eq!(weights.len(), self.len, "weight count changed");
+        let shard_len = self.shard_len;
+        let group = if threads > 1 && self.shards.len() > 1 {
+            self.shards.len().div_ceil(threads.min(self.shards.len()))
+        } else {
+            self.shards.len()
+        };
+        if group < self.shards.len() {
+            std::thread::scope(|scope| {
+                for (shard_group, weight_group) in self
+                    .shards
+                    .chunks_mut(group)
+                    .zip(weights.chunks(group * shard_len))
+                {
+                    scope.spawn(move || {
+                        for (shard, w) in shard_group.iter_mut().zip(weight_group.chunks(shard_len))
+                        {
+                            *shard = Fenwick::from_weights(w);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (shard, w) in self.shards.iter_mut().zip(weights.chunks(shard_len)) {
+                *shard = Fenwick::from_weights(w);
+            }
+        }
+        let totals: Vec<u64> = self.shards.iter().map(Fenwick::total).collect();
+        self.top = Fenwick::from_weights(&totals);
+    }
+
+    /// Add `delta` to the weight at `index`: one shard update plus one
+    /// top update.
+    pub fn add(&mut self, index: usize, delta: i64) {
+        debug_assert!(index < self.len);
+        let shard = index / self.shard_len;
+        self.shards[shard].add(index % self.shard_len, delta);
+        self.top.add(shard, delta);
+    }
+
+    /// Weight currently stored at `index`.
+    pub fn get(&self, index: usize) -> u64 {
+        self.shards[index / self.shard_len].get(index % self.shard_len)
+    }
+
+    /// Sum of weights at indices `< count`.
+    pub fn prefix(&self, count: usize) -> u64 {
+        debug_assert!(count <= self.len);
+        let shard = count / self.shard_len;
+        if shard == self.shards.len() {
+            return self.top.total();
+        }
+        self.top.prefix(shard) + self.shards[shard].prefix(count % self.shard_len)
+    }
+
+    /// Draw an index with probability proportional to its weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total weight is zero.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        assert!(self.total() > 0, "cannot sample from an empty distribution");
+        self.index_of(rng.gen_range(0..self.total()))
+    }
+
+    /// The index whose cumulative weight interval contains `target` —
+    /// descends the top tree to pick the shard, then the shard tree.
+    /// Agrees with a flat [`Fenwick`] over the same weights for every
+    /// target.
+    #[inline]
+    pub fn index_of(&self, target: u64) -> usize {
+        debug_assert!(target < self.total());
+        let shard = self.top.index_of(target);
+        let rem = target - self.top.prefix(shard);
+        shard * self.shard_len + self.shards[shard].index_of(rem)
+    }
+}
+
+impl StateSampler for ShardedFenwick {
+    #[inline]
+    fn total_weight(&self) -> u64 {
+        self.total()
+    }
+
+    #[inline]
+    fn locate(&self, target: u64) -> usize {
+        self.index_of(target)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +407,90 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         for _ in 0..100 {
             assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    /// Deterministic pseudo-random weights without an RNG dependency.
+    fn mixed_weights(len: usize, salt: u64) -> Vec<u64> {
+        (0..len as u64)
+            .map(|i| {
+                let h = (i ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (h >> 57) * u64::from(!h.is_multiple_of(5))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_agrees_with_flat_for_every_target() {
+        // Straddle shard boundaries: 1 shard, exactly 2, and a ragged tail.
+        for len in [3usize, 255, 256, 257, 700] {
+            let w = mixed_weights(len, 12);
+            let flat = Fenwick::from_weights(&w);
+            let sharded = ShardedFenwick::from_weights(&w);
+            assert_eq!(sharded.total(), flat.total());
+            assert_eq!(sharded.len(), flat.len());
+            let total = flat.total();
+            let step = (total / 4096).max(1);
+            let mut target = 0;
+            while target < total {
+                assert_eq!(
+                    sharded.index_of(target),
+                    flat.index_of(target),
+                    "len {len}, target {target}"
+                );
+                target += step;
+            }
+            for i in 0..len {
+                assert_eq!(sharded.get(i), flat.get(i), "get({i})");
+                assert_eq!(sharded.prefix(i), flat.prefix(i), "prefix({i})");
+            }
+            assert_eq!(sharded.prefix(len), flat.prefix(len));
+        }
+    }
+
+    #[test]
+    fn sharded_add_tracks_flat() {
+        let w = mixed_weights(600, 5);
+        let mut flat = Fenwick::from_weights(&w);
+        let mut sharded = ShardedFenwick::from_weights(&w);
+        // Deltas spread across shards, including one that zeroes a state.
+        for (i, d) in [(0usize, 7i64), (255, -(w[255] as i64)), (256, 3), (599, 11)] {
+            flat.add(i, d);
+            sharded.add(i, d);
+        }
+        assert_eq!(sharded.total(), flat.total());
+        for target in 0..flat.total() {
+            assert_eq!(sharded.index_of(target), flat.index_of(target));
+        }
+    }
+
+    #[test]
+    fn sharded_rebuild_is_thread_count_invariant() {
+        let w0 = mixed_weights(700, 1);
+        let w1 = mixed_weights(700, 2);
+        let mut serial = ShardedFenwick::from_weights(&w0);
+        let mut threaded = ShardedFenwick::from_weights(&w0);
+        serial.rebuild(&w1, 1);
+        threaded.rebuild(&w1, 4);
+        assert_eq!(serial.total(), threaded.total());
+        for (i, &want) in w1.iter().enumerate() {
+            assert_eq!(serial.get(i), want, "serial rebuild get({i})");
+            assert_eq!(threaded.get(i), want, "threaded rebuild get({i})");
+        }
+        for target in (0..serial.total()).step_by(97) {
+            assert_eq!(serial.index_of(target), threaded.index_of(target));
+        }
+    }
+
+    #[test]
+    fn sharded_sampling_consumes_the_same_stream_as_flat() {
+        let w = mixed_weights(300, 9);
+        let flat = Fenwick::from_weights(&w);
+        let sharded = ShardedFenwick::from_weights(&w);
+        let mut rng_a = SimRng::seed_from_u64(21);
+        let mut rng_b = SimRng::seed_from_u64(21);
+        for _ in 0..5000 {
+            assert_eq!(flat.sample(&mut rng_a), sharded.sample(&mut rng_b));
         }
     }
 

@@ -61,9 +61,11 @@ pub mod birthday;
 pub mod fenwick;
 pub mod multinomial;
 pub mod pairwise;
-mod sim;
+mod pool;
+pub(crate) mod sim;
+pub(crate) mod tally;
 
-pub use fenwick::Fenwick;
+pub use fenwick::{Fenwick, ShardedFenwick, StateSampler};
 pub use pairwise::PairwiseBatchSimulation;
 pub use sim::BatchSimulation;
 
@@ -71,7 +73,11 @@ use crate::protocol::SimRng;
 
 /// A population protocol presented as a transition table over a small state
 /// space `0..states()`, runnable on the configuration-space engines.
-pub trait TableProtocol {
+///
+/// The `Send + Sync + 'static` supertraits let the threaded tally path
+/// share the table with pool workers; every table here is a small
+/// value-type (often zero-sized), so the bounds cost nothing in practice.
+pub trait TableProtocol: Send + Sync + 'static {
     /// Size of the state space.
     fn states(&self) -> usize;
 

@@ -5,7 +5,8 @@
 //! decomposed into conditional binomials (`X_s ~ Bin(remaining, w_s/rest)`).
 //! The binomial sampler picks its algorithm by regime:
 //!
-//! * `n ≤ 16` — direct Bernoulli counting (cheapest at tiny sizes),
+//! * `n ≤ 16` — inverted geometric skips (`O(n·p + 1)` log-uniforms, never
+//!   a per-trial coin flip),
 //! * `n·p < 10` — BINV-style inversion from zero (`O(n·p)` expected),
 //! * otherwise — inversion from the mode, walking outward (`O(√(n·p))`
 //!   expected, the reason batch tallies cost `O(√ℓ)` rather than `O(ℓ)`).
@@ -13,6 +14,19 @@
 //! All branches invert a single uniform against exact pmf recurrences; the
 //! only approximation is `f64` rounding (ln-factorials via a 16-entry exact
 //! table plus a Stirling series accurate to ~1e-12 beyond it).
+//!
+//! # Batch forms
+//!
+//! The tally path often needs many draws that share one success
+//! probability (the per-pair-type lie splits of a Byzantine batch, the
+//! `p = ½` halves of a split forgery). [`binomial_batch`] processes those
+//! as one array pass with the transcendental setup (`ln p`, `ln q`,
+//! `p/q`) hoisted out of the per-lane loop; each lane then runs the same
+//! branch-light pmf recurrence the scalar sampler would, consuming the
+//! same uniforms in lane order, so the `scalar-samplers` fallback build
+//! (`--features scalar-samplers`, one scalar call per lane) draws a
+//! bit-identical stream. Exact-distribution tests pin both paths to each
+//! other and to the closed-form pmf.
 
 use rand::Rng;
 
@@ -48,12 +62,40 @@ fn ln_factorial(k: u64) -> f64 {
     }
 }
 
-/// `ln P[Bin(n, p) = k]`.
+/// `ln P[Bin(n, p) = k]`, with `ln p` / `ln q` pre-hoisted so batch
+/// callers pay the transcendentals once per shared `p`.
 #[inline]
-fn ln_binom_pmf(n: u64, k: u64, p: f64, q: f64) -> f64 {
+fn ln_binom_pmf(n: u64, k: u64, ln_p: f64, ln_q: f64) -> f64 {
     ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
-        + k as f64 * p.ln()
-        + (n - k) as f64 * q.ln()
+        + k as f64 * ln_p
+        + (n - k) as f64 * ln_q
+}
+
+/// The `p`-dependent constants every binomial regime needs, computed once
+/// so batch draws sharing a success probability pay the transcendentals
+/// (`ln p`, `ln q`, the odds ratio) once per *batch* instead of once per
+/// *draw*. Holds the half-probability (`p ≤ 0.5`); callers mirror.
+struct BinomialSetup {
+    p: f64,
+    q: f64,
+    /// Odds `p / q`.
+    s: f64,
+    ln_p: f64,
+    ln_q: f64,
+}
+
+impl BinomialSetup {
+    fn new(p: f64) -> Self {
+        debug_assert!(p > 0.0 && p <= 0.5, "p = {p}");
+        let q = 1.0 - p;
+        Self {
+            p,
+            q,
+            s: p / q,
+            ln_p: p.ln(),
+            ln_q: q.ln(),
+        }
+    }
 }
 
 /// Draw `X ~ Binomial(n, p)`.
@@ -66,32 +108,96 @@ pub fn binomial(rng: &mut SimRng, n: u64, p: f64) -> u64 {
         return n;
     }
     if p > 0.5 {
-        n - binomial_half(rng, n, 1.0 - p)
+        n - binomial_half(rng, n, &BinomialSetup::new(1.0 - p))
     } else {
-        binomial_half(rng, n, p)
+        binomial_half(rng, n, &BinomialSetup::new(p))
     }
 }
 
-/// Binomial for `p ≤ 0.5`.
-fn binomial_half(rng: &mut SimRng, n: u64, p: f64) -> u64 {
-    if n <= 16 {
-        return (0..n).filter(|_| rng.gen_bool(p)).count() as u64;
+/// Draw `out[i] ~ Binomial(ns[i], p)` for one shared success probability —
+/// the array pass over a batch's per-pair-type draws. The setup is hoisted
+/// once; each lane consumes exactly the uniforms the scalar [`binomial`]
+/// would, in lane order, so this is stream-identical to the
+/// `scalar-samplers` fallback.
+#[cfg(not(feature = "scalar-samplers"))]
+pub fn binomial_batch(rng: &mut SimRng, ns: &[u64], p: f64, out: &mut Vec<u64>) {
+    debug_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    out.clear();
+    if p <= 0.0 {
+        out.resize(ns.len(), 0);
+        return;
     }
-    if (n as f64) * p < 10.0 {
-        binomial_binv(rng, n, p)
+    if p >= 1.0 {
+        out.extend_from_slice(ns);
+        return;
+    }
+    let mirror = p > 0.5;
+    let setup = BinomialSetup::new(if mirror { 1.0 - p } else { p });
+    for &n in ns {
+        let x = if n == 0 {
+            0
+        } else {
+            binomial_half(rng, n, &setup)
+        };
+        out.push(if mirror { n - x } else { x });
+    }
+}
+
+/// Scalar fallback for [`binomial_batch`]: one [`binomial`] call per lane.
+/// Same regimes, same recurrences, same uniforms — only the setup
+/// hoisting differs, and setup constants are pure functions of `p`, so
+/// both builds draw bit-identical streams.
+#[cfg(feature = "scalar-samplers")]
+pub fn binomial_batch(rng: &mut SimRng, ns: &[u64], p: f64, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(ns.iter().map(|&n| binomial(rng, n, p)));
+}
+
+/// Binomial for `p ≤ 0.5` (pre-hoisted setup).
+fn binomial_half(rng: &mut SimRng, n: u64, setup: &BinomialSetup) -> u64 {
+    if n <= 16 {
+        return binomial_geometric_skip(rng, n, setup);
+    }
+    if (n as f64) * setup.p < 10.0 {
+        binomial_binv(rng, n, setup)
     } else {
-        binomial_mode_inversion(rng, n, p)
+        binomial_mode_inversion(rng, n, setup)
+    }
+}
+
+/// Tiny-`n` binomial by inverted geometric skips: instead of one Bernoulli
+/// coin per trial (`O(n)` uniforms), jump straight to the next success —
+/// the failure run-length before it is `Geometric(p)`, sampled by
+/// inverting one uniform as `⌊ln U / ln q⌋`. Expected `n·p + 1` uniforms,
+/// and the loop body is branch-light: no per-trial accept test, just the
+/// skip-exhausts-the-remaining-trials exit.
+fn binomial_geometric_skip(rng: &mut SimRng, n: u64, setup: &BinomialSetup) -> u64 {
+    let mut successes = 0u64;
+    let mut trials = 0u64; // trials consumed so far
+    loop {
+        let u: f64 = rng.gen();
+        // `P(skip ≥ j) = P(U < q^j) = q^j` — exactly geometric. `u = 0`
+        // gives `skip = ∞` (no success in any finite tail), which the
+        // float comparison below handles without a cast.
+        let skip = (u.ln() / setup.ln_q).floor();
+        if skip >= (n - trials) as f64 {
+            return successes;
+        }
+        trials += skip as u64 + 1;
+        successes += 1;
+        if trials >= n {
+            return successes;
+        }
     }
 }
 
 /// BINV: invert a uniform against the pmf starting from zero. Expected
 /// `O(n·p)` steps; requires `q^n` representable, guaranteed by the caller's
 /// `n·p < 10`, `p ≤ 0.5` regime (`q^n ≥ e^{-20}`).
-fn binomial_binv(rng: &mut SimRng, n: u64, p: f64) -> u64 {
-    let q = 1.0 - p;
-    let s = p / q;
+fn binomial_binv(rng: &mut SimRng, n: u64, setup: &BinomialSetup) -> u64 {
+    let s = setup.s;
     let a = (n as f64 + 1.0) * s;
-    let f0 = (n as f64 * q.ln()).exp();
+    let f0 = (n as f64 * setup.ln_q).exp();
     loop {
         let mut f = f0;
         let mut u: f64 = rng.gen();
@@ -113,11 +219,12 @@ fn binomial_binv(rng: &mut SimRng, n: u64, p: f64) -> u64 {
 }
 
 /// Inversion from the mode, walking outward on both sides. Expected
-/// `O(σ) = O(√(n·p·q))` steps.
-fn binomial_mode_inversion(rng: &mut SimRng, n: u64, p: f64) -> u64 {
-    let q = 1.0 - p;
+/// `O(σ) = O(√(n·p·q))` steps; the two-sided walk is branch-light — each
+/// iteration is two pmf-ratio multiplies and two compare-subtract steps.
+fn binomial_mode_inversion(rng: &mut SimRng, n: u64, setup: &BinomialSetup) -> u64 {
+    let (p, q) = (setup.p, setup.q);
     let mode = (((n + 1) as f64) * p).floor().min(n as f64) as u64;
-    let pmf_mode = ln_binom_pmf(n, mode, p, q).exp();
+    let pmf_mode = ln_binom_pmf(n, mode, setup.ln_p, setup.ln_q).exp();
     loop {
         let mut u: f64 = rng.gen();
         if u < pmf_mode {
@@ -463,6 +570,82 @@ mod tests {
                 (got_var - mean).abs() / mean < 0.1,
                 "mean={mean}: var {got_var}"
             );
+        }
+    }
+
+    #[test]
+    fn binomial_batch_is_bit_identical_to_scalar_lanes() {
+        // The array pass must consume exactly the uniforms the scalar
+        // sampler would, in lane order — outputs AND the post-call RNG
+        // position must match. Mixed regimes per batch: geometric skip,
+        // BINV, mode inversion, and p > 1/2 mirrors.
+        let lanes: Vec<u64> = vec![0, 1, 4, 16, 17, 500, 1000, 5_000, 1_000_000, 3];
+        for (seed, p) in [
+            (3u64, 0.3f64),
+            (7, 0.004),
+            (11, 0.8),
+            (13, 0.5),
+            (17, 0.996),
+        ] {
+            let mut batch_rng = SimRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            binomial_batch(&mut batch_rng, &lanes, p, &mut out);
+
+            let mut scalar_rng = SimRng::seed_from_u64(seed);
+            let scalar: Vec<u64> = lanes
+                .iter()
+                .map(|&n| binomial(&mut scalar_rng, n, p))
+                .collect();
+
+            assert_eq!(out, scalar, "p={p}: batch and scalar lanes diverged");
+            assert_eq!(
+                batch_rng.gen::<u64>(),
+                scalar_rng.gen::<u64>(),
+                "p={p}: batch and scalar consumed different stream lengths"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_batch_edge_probabilities() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let lanes = [5u64, 0, 9];
+        let mut out = Vec::new();
+        binomial_batch(&mut rng, &lanes, 0.0, &mut out);
+        assert_eq!(out, vec![0, 0, 0]);
+        binomial_batch(&mut rng, &lanes, 1.0, &mut out);
+        assert_eq!(out, vec![5, 0, 9]);
+    }
+
+    #[test]
+    fn geometric_skip_matches_exact_pmf_at_every_small_n() {
+        // The n ≤ 16 path is inverted geometric skips; pin its law against
+        // the exact binomial pmf for every n in the regime at two ps.
+        let mut rng = SimRng::seed_from_u64(314);
+        for p in [0.2f64, 0.5] {
+            for n in 1..=16u64 {
+                let draws = 40_000u64;
+                let mut hist = vec![0u64; n as usize + 1];
+                for _ in 0..draws {
+                    hist[binomial(&mut rng, n, p) as usize] += 1;
+                }
+                let q = 1.0 - p;
+                for (k, &h) in hist.iter().enumerate() {
+                    let want = ln_binom_pmf(n, k as u64, p.ln(), q.ln()).exp() * draws as f64;
+                    if want < 50.0 {
+                        // Too little mass for a tight relative test; just
+                        // bound the tail.
+                        assert!(
+                            (h as f64) < want + 6.0 * want.sqrt() + 25.0,
+                            "n={n} p={p} k={k}: {h} vs {want:.1}"
+                        );
+                        continue;
+                    }
+                    let dev = (h as f64 - want).abs() / want;
+                    let tol = 6.0 * (1.0 / want).sqrt() + 0.01;
+                    assert!(dev < tol, "n={n} p={p} k={k}: {h} vs {want:.0}");
+                }
+            }
         }
     }
 

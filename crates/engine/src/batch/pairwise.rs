@@ -82,6 +82,16 @@ impl<P: TableProtocol> PairwiseBatchSimulation<P> {
         self.scheduler = Some(scheduler);
     }
 
+    /// Accepted for API parity with
+    /// [`BatchSimulation::set_threads`](crate::BatchSimulation::set_threads)
+    /// and ignored: the pairwise reference engine applies every
+    /// interaction against the *live* configuration, so its batches are
+    /// inherently sequential. Results are unaffected (as they are, by
+    /// design, on the threaded engine too).
+    pub fn set_threads(&mut self, threads: usize) {
+        let _ = threads;
+    }
+
     /// Install a Byzantine interaction adversary. The honest path (and its
     /// RNG stream) is untouched when none is set. A fixed forged opinion
     /// with no state in this protocol's table degrades to honesty.

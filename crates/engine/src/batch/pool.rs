@@ -1,0 +1,343 @@
+//! A persistent, `unsafe`-free worker pool for threaded batch tallies.
+//!
+//! Batches arrive every few microseconds on the hot path, so spawning
+//! scoped threads per batch would cost more than the work itself. The
+//! pool keeps `threads − 1` plain `std::thread` workers parked between
+//! batches; the coordinating thread publishes one [`TallyJob`] per
+//! threaded tally attempt, participates in claiming subtrees itself, and
+//! waits for the last subtree before merging. Workers spin briefly on the
+//! generation counter (covering back-to-back batches) and then park on a
+//! condvar, so an idle or single-core host never busy-burns a core.
+//!
+//! Everything crossing the thread boundary is owned by an
+//! `Arc<TallyJob>` — a snapshot of the pre-batch configuration, the
+//! census tree, and the protocol — so no borrows escape and no `unsafe`
+//! is needed. Because every subtree's substream is counter-based (see
+//! [`tally`](crate::batch::tally)), *which* worker claims a subtree never
+//! affects the result; the pool is pure scheduling.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::batch::fenwick::ShardedFenwick;
+use crate::batch::tally::{run_subtree, TallyCtx, TallyScratch, TallySpec};
+use crate::batch::TableProtocol;
+use crate::fault::LieTarget;
+
+/// Spins on the generation counter before a worker parks. Short: parked
+/// workers cost nothing, and the publish path notifies them anyway.
+const SPIN_ROUNDS: u32 = 128;
+
+/// One threaded tally attempt: a frozen snapshot of everything the
+/// subtree kernels read, plus the claim/completion counters.
+pub(crate) struct TallyJob<P: TableProtocol> {
+    pub protocol: Arc<P>,
+    pub deterministic: bool,
+    pub lie: Option<(f64, LieTarget)>,
+    /// Pre-batch configuration snapshot.
+    pub counts: Vec<u64>,
+    pub n: u64,
+    /// Census snapshot for the per-draw responder path.
+    pub tree: ShardedFenwick,
+    pub split_threshold: u64,
+    /// The attempt key (one main-stream word).
+    pub key: u64,
+    /// Initiator cells `(state, multiplicity)` — one subtree each.
+    pub subtrees: Vec<(usize, u64)>,
+    /// Monotone publish counter (workers detect new jobs by it).
+    generation: u64,
+    /// Next unclaimed subtree.
+    next: AtomicUsize,
+    /// Completed subtrees.
+    done: AtomicUsize,
+    /// Per-subtree output slots, merged by the coordinator in index
+    /// order once `done` reaches `subtrees.len()`.
+    pub outs: Vec<Mutex<SubtreeOut>>,
+}
+
+/// A subtree's accumulator pair.
+#[derive(Debug, Default)]
+pub(crate) struct SubtreeOut {
+    pub delta: Vec<i64>,
+    pub usage: Vec<u64>,
+}
+
+impl<P: TableProtocol> TallyJob<P> {
+    /// Package one tally attempt. Output slots start empty; claimants
+    /// size and zero them before running their subtree.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        protocol: Arc<P>,
+        deterministic: bool,
+        lie: Option<(f64, LieTarget)>,
+        counts: Vec<u64>,
+        n: u64,
+        tree: ShardedFenwick,
+        split_threshold: u64,
+        key: u64,
+        subtrees: Vec<(usize, u64)>,
+    ) -> Self {
+        let outs = (0..subtrees.len())
+            .map(|_| Mutex::new(SubtreeOut::default()))
+            .collect();
+        Self {
+            protocol,
+            deterministic,
+            lie,
+            counts,
+            n,
+            tree,
+            split_threshold,
+            key,
+            subtrees,
+            generation: 0,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            outs,
+        }
+    }
+}
+
+/// Claim and run subtrees until the job is drained. Shared verbatim by
+/// workers and the coordinating thread.
+fn run_claims<P: TableProtocol>(job: &TallyJob<P>, scratch: &mut TallyScratch) {
+    let states = job.counts.len();
+    loop {
+        let j = job.next.fetch_add(1, Ordering::Relaxed);
+        if j >= job.subtrees.len() {
+            return;
+        }
+        let (a, multiplicity) = job.subtrees[j];
+        let spec = TallySpec {
+            ctx: TallyCtx {
+                protocol: &*job.protocol,
+                deterministic: job.deterministic,
+                lie: job.lie,
+                states,
+            },
+            counts: &job.counts,
+            n: job.n,
+            tree: &job.tree,
+            split_threshold: job.split_threshold,
+            key: job.key,
+        };
+        let mut guard = job.outs[j].lock().expect("subtree slot poisoned");
+        let out = &mut *guard;
+        out.delta.clear();
+        out.delta.resize(states, 0);
+        out.usage.clear();
+        out.usage.resize(states, 0);
+        run_subtree(
+            &spec,
+            j,
+            a,
+            multiplicity,
+            scratch,
+            &mut out.delta,
+            &mut out.usage,
+        );
+        drop(guard);
+        job.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+struct PoolShared<P: TableProtocol> {
+    /// The published job slot, replaced wholesale each batch.
+    slot: Mutex<Option<Arc<TallyJob<P>>>>,
+    /// Bumped (under the slot lock) on every publish; workers spin on it.
+    generation: AtomicU64,
+    shutdown: AtomicBool,
+    cv: Condvar,
+}
+
+/// The persistent pool. Owned by one `BatchSimulation`; dropped (workers
+/// joined) when the thread count returns to 1 or the simulation goes
+/// away. Deliberately *not* part of the simulation's cloned or
+/// checkpointed state.
+pub(crate) struct TallyPool<P: TableProtocol> {
+    shared: Arc<PoolShared<P>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<P: TableProtocol> std::fmt::Debug for TallyPool<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TallyPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl<P: TableProtocol> TallyPool<P> {
+    /// Spawn `workers` parked worker threads (the coordinator makes it
+    /// `workers + 1` claimants per job).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            cv: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of pool workers (excluding the coordinator).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Publish `job`, claim subtrees alongside the workers, and return
+    /// once every subtree is complete. The caller merges `outs` in
+    /// index order.
+    pub fn run(&self, job: TallyJob<P>, scratch: &mut TallyScratch) -> Arc<TallyJob<P>> {
+        let total = job.subtrees.len();
+        let job = {
+            let mut slot = self.shared.slot.lock().expect("pool slot poisoned");
+            let generation = self.shared.generation.load(Ordering::Relaxed) + 1;
+            let job = Arc::new(TallyJob { generation, ..job });
+            *slot = Some(Arc::clone(&job));
+            // Publish the generation under the lock so a worker that
+            // checked it and went to wait cannot miss the notify.
+            self.shared.generation.store(generation, Ordering::Release);
+            self.shared.cv.notify_all();
+            job
+        };
+        run_claims(&job, scratch);
+        // All subtrees are claimed; wait for stragglers on other workers.
+        let mut spins = 0u32;
+        while job.done.load(Ordering::Acquire) < total {
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        job
+    }
+}
+
+impl<P: TableProtocol> Drop for TallyPool<P> {
+    fn drop(&mut self) {
+        {
+            let _slot = self.shared.slot.lock().expect("pool slot poisoned");
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<P: TableProtocol>(shared: Arc<PoolShared<P>>) {
+    let mut scratch = TallyScratch::default();
+    let mut seen = 0u64;
+    loop {
+        // Fast path: spin briefly on the generation counter so
+        // back-to-back batches never pay a park/unpark round trip.
+        let mut spins = 0u32;
+        let job = loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if shared.generation.load(Ordering::Acquire) != seen {
+                let slot = shared.slot.lock().expect("pool slot poisoned");
+                if let Some(job) = slot.as_ref() {
+                    if job.generation != seen {
+                        break Arc::clone(job);
+                    }
+                }
+                drop(slot);
+                continue;
+            }
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+                continue;
+            }
+            // Park until the next publish (or shutdown).
+            let mut slot = shared.slot.lock().expect("pool slot poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = slot.as_ref() {
+                    if job.generation != seen {
+                        break;
+                    }
+                }
+                slot = shared.cv.wait(slot).expect("pool slot poisoned");
+            }
+            let job = slot.as_ref().expect("checked above");
+            break Arc::clone(job);
+        };
+        seen = job.generation;
+        run_claims(&job, &mut scratch);
+        drop(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::sim::tests::Am3;
+
+    fn job(key: u64, counts: Vec<u64>, subtrees: Vec<(usize, u64)>) -> TallyJob<Am3> {
+        let n = counts.iter().sum();
+        let tree = ShardedFenwick::from_weights(&counts);
+        TallyJob::new(Arc::new(Am3), true, None, counts, n, tree, 8, key, subtrees)
+    }
+
+    /// Merge a completed job's outs.
+    fn merged(job: &TallyJob<Am3>) -> (Vec<i64>, Vec<u64>) {
+        let states = job.counts.len();
+        let mut delta = vec![0i64; states];
+        let mut usage = vec![0u64; states];
+        for out in job.outs.iter().take(job.subtrees.len()) {
+            let out = out.lock().unwrap();
+            for s in 0..states {
+                delta[s] += out.delta[s];
+                usage[s] += out.usage[s];
+            }
+        }
+        (delta, usage)
+    }
+
+    #[test]
+    fn pool_matches_inline_claims_for_any_worker_count() {
+        let counts = vec![700u64, 250, 50];
+        let subtrees = vec![(0usize, 70u64), (1, 25), (2, 5)];
+
+        // Reference: run the claims inline on this thread.
+        let reference = job(99, counts.clone(), subtrees.clone());
+        let mut scratch = TallyScratch::default();
+        run_claims(&reference, &mut scratch);
+        let want = merged(&reference);
+
+        for workers in [0usize, 1, 3] {
+            let pool: TallyPool<Am3> = TallyPool::new(workers);
+            let mut scratch = TallyScratch::default();
+            let done = pool.run(job(99, counts.clone(), subtrees.clone()), &mut scratch);
+            assert_eq!(merged(&done), want, "workers = {workers}");
+            // Reuse the same pool for a second generation.
+            let done = pool.run(job(7, counts.clone(), subtrees.clone()), &mut scratch);
+            let reference = job(7, counts.clone(), subtrees.clone());
+            let mut scratch2 = TallyScratch::default();
+            run_claims(&reference, &mut scratch2);
+            assert_eq!(merged(&done), merged(&reference), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool: TallyPool<Am3> = TallyPool::new(2);
+        drop(pool); // must not hang
+    }
+}

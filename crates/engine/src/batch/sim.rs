@@ -5,8 +5,10 @@ use std::sync::Arc;
 use rand::{Rng, SeedableRng};
 
 use crate::batch::birthday::draw_batch_len;
-use crate::batch::fenwick::Fenwick;
+use crate::batch::fenwick::ShardedFenwick;
 use crate::batch::multinomial::{binomial, multinomial_into, multinomial_weighted_into};
+use crate::batch::pool::{TallyJob, TallyPool};
+use crate::batch::tally::{self, run_subtree, TallyCtx, TallyScratch, TallySpec};
 use crate::batch::TableProtocol;
 use crate::churn::ChurnProcess;
 use crate::fault::{
@@ -30,6 +32,13 @@ const SPLIT_FLOOR: u64 = 8;
 /// already rare; the fallback is exact and unconditionally feasible.
 const MAX_TALLY_RETRIES: u32 = 8;
 
+/// Batches shorter than this run their subtrees inline even when a
+/// thread pool is available: the per-job snapshot (counts, census tree)
+/// costs more than the tally itself. Purely a scheduling choice — the
+/// pooled and inline paths compute identical tallies (see
+/// [`crate::batch::tally`]), so this cutoff cannot affect results.
+const PARALLEL_CUTOFF: u64 = 1024;
+
 /// A configuration-space simulation advancing in collision-free batches,
 /// each applied as one multinomial tally of ordered state pairs.
 ///
@@ -39,13 +48,17 @@ const MAX_TALLY_RETRIES: u32 = 8;
 /// seed engine (see [`crate::batch`] module docs for the accounting, and
 /// [`PairwiseBatchSimulation`](crate::batch::PairwiseBatchSimulation) for
 /// the retained reference implementation).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BatchSimulation<P: TableProtocol> {
-    protocol: P,
+    /// Shared with pool workers during threaded tallies; plain `&P`
+    /// everywhere else.
+    protocol: Arc<P>,
     counts: Vec<u64>,
-    /// Fenwick mirror of `counts` for `O(log S)` weighted draws; frozen at
-    /// the pre-batch configuration while a tally is being sampled.
-    tree: Fenwick,
+    /// Sharded Fenwick mirror of `counts` for `O(log S)` weighted draws;
+    /// frozen at the pre-batch configuration while a tally is being
+    /// sampled. Full rebuilds (admit/churn/faults) parallelise over
+    /// shards at `threads > 1`.
+    tree: ShardedFenwick,
     n: u64,
     rng: SimRng,
     interactions: u64,
@@ -77,6 +90,46 @@ pub struct BatchSimulation<P: TableProtocol> {
     /// resolve once at install and are not stored.
     adversary: Option<Arc<dyn Adversary>>,
     scheduler_saturated: bool,
+    /// Worker budget for one run (tally subtrees, census rebuilds). Not
+    /// part of the checkpointed state: results are identical at every
+    /// value, so a resumed run may use a different thread count.
+    threads: usize,
+    /// Persistent tally workers, spawned lazily on the first threaded
+    /// batch and dropped when `threads` returns to 1. Never cloned or
+    /// checkpointed.
+    pool: Option<TallyPool<P>>,
+    /// Coordinator-side kernel scratch, reused across batches.
+    scratch: TallyScratch,
+}
+
+impl<P: TableProtocol> Clone for BatchSimulation<P> {
+    /// Clones share the protocol (`Arc`) but never the worker pool; the
+    /// clone respawns its own lazily if it runs threaded.
+    fn clone(&self) -> Self {
+        Self {
+            protocol: Arc::clone(&self.protocol),
+            counts: self.counts.clone(),
+            tree: self.tree.clone(),
+            n: self.n,
+            rng: self.rng.clone(),
+            interactions: self.interactions,
+            batches: self.batches,
+            time_base: self.time_base,
+            interactions_base: self.interactions_base,
+            deterministic: self.deterministic,
+            initiators: self.initiators.clone(),
+            responders: self.responders.clone(),
+            delta: self.delta.clone(),
+            usage: self.usage.clone(),
+            scheduler: self.scheduler.clone(),
+            lie: self.lie,
+            adversary: self.adversary.clone(),
+            scheduler_saturated: self.scheduler_saturated,
+            threads: self.threads,
+            pool: None,
+            scratch: TallyScratch::default(),
+        }
+    }
 }
 
 impl<P: TableProtocol> BatchSimulation<P> {
@@ -94,11 +147,11 @@ impl<P: TableProtocol> BatchSimulation<P> {
         );
         let n: u64 = counts.iter().sum();
         assert!(n >= 2, "population must contain at least two agents");
-        let tree = Fenwick::from_weights(&counts);
+        let tree = ShardedFenwick::from_weights(&counts);
         let states = counts.len();
         let deterministic = protocol.is_deterministic();
         Self {
-            protocol,
+            protocol: Arc::new(protocol),
             counts,
             tree,
             n,
@@ -116,7 +169,35 @@ impl<P: TableProtocol> BatchSimulation<P> {
             lie: None,
             adversary: None,
             scheduler_saturated: false,
+            threads: 1,
+            pool: None,
+            scratch: TallyScratch::default(),
         }
+    }
+
+    /// Set the worker budget for this run. `1` (the default) keeps
+    /// everything on the calling thread; larger values run tally subtrees
+    /// and census rebuilds on up to `threads` workers (the calling thread
+    /// included). **Results are byte-identical at every setting** — every
+    /// parallel draw runs on a counter-based substream keyed by its place
+    /// in the tally structure, never by thread (see
+    /// [`crate::batch::tally`]) — so this is purely a throughput knob.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        if self.threads == 1 {
+            self.pool = None;
+        } else if self
+            .pool
+            .as_ref()
+            .is_some_and(|p| p.workers() + 1 != self.threads)
+        {
+            self.pool = None; // respawned lazily at the new size
+        }
+    }
+
+    /// The worker budget for this run.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Replace the uniform pair scheduler with an adversarial one. The
@@ -137,7 +218,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
             self.adversary = Some(adversary);
             self.refresh_lie();
         } else {
-            self.lie = Self::lie_snapshot(&self.protocol, &*adversary);
+            self.lie = Self::lie_snapshot(&*self.protocol, &*adversary);
         }
     }
 
@@ -171,7 +252,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
         let Some(adv) = self.adversary.clone() else {
             return;
         };
-        self.lie = resolve_forgery(&self.protocol, adv.forgery(&self.opinion_census()))
+        self.lie = resolve_forgery(&*self.protocol, adv.forgery(&self.opinion_census()))
             .map(|t| (adv.lie_frac(), t));
     }
 
@@ -231,7 +312,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
         self.fold_clock();
         self.counts[state] += count;
         self.n += count;
-        self.tree = Fenwick::from_weights(&self.counts);
+        self.tree.rebuild(&self.counts, self.threads);
     }
 
     /// Parallel time elapsed: interactions divided by the population size,
@@ -316,11 +397,20 @@ impl<P: TableProtocol> BatchSimulation<P> {
     /// untouched) if the sampled tally is infeasible — it would use more
     /// agents of some state than exist (the with-replacement draw can
     /// overdraw a small state).
+    ///
+    /// The attempt is structured as a split tree: the root multinomial
+    /// (drawn here, from the main stream) splits the batch across
+    /// initiator states, and each initiator's subtree resolves on a
+    /// counter-based substream keyed by `(key, subtree index)` — inline
+    /// at `threads == 1`, claimed by pool workers otherwise, with
+    /// byte-identical results either way (see [`crate::batch::tally`]).
+    /// Main-stream consumption per attempt (the root draw plus one key
+    /// word) is therefore thread-count-invariant.
     fn try_tally(&mut self, len: u64) -> bool {
         self.delta.iter_mut().for_each(|d| *d = 0);
         self.usage.iter_mut().for_each(|u| *u = 0);
 
-        // Initiator counts: one multinomial over the configuration.
+        // Root split: one multinomial over the configuration.
         self.initiators.clear();
         multinomial_into(
             &mut self.rng,
@@ -330,36 +420,40 @@ impl<P: TableProtocol> BatchSimulation<P> {
             &mut self.initiators,
         );
 
-        // Responder counts per initiator state, then the transitions.
-        // Buffers are swapped out of `self` so `self.rng`/`self.tree` stay
-        // borrowable; they are always returned before the method exits.
         let occupied = self.counts.iter().filter(|&&c| c > 0).count() as u64;
         let split_threshold = SPLIT_FLOOR.max(occupied);
-        let mut initiators = std::mem::take(&mut self.initiators);
-        for &(a, multiplicity) in &initiators {
-            if multiplicity <= split_threshold {
-                for _ in 0..multiplicity {
-                    let b = self.tree.sample(&mut self.rng);
-                    self.accumulate(a, b, 1);
-                }
-            } else {
-                let mut responders = std::mem::take(&mut self.responders);
-                responders.clear();
-                multinomial_into(
-                    &mut self.rng,
+        let key = self.rng.gen::<u64>();
+
+        if self.threads > 1 && len >= PARALLEL_CUTOFF && self.initiators.len() > 1 {
+            self.tally_pooled(split_threshold, key);
+        } else {
+            let initiators = std::mem::take(&mut self.initiators);
+            for (subtree, &(a, multiplicity)) in initiators.iter().enumerate() {
+                let spec = TallySpec {
+                    ctx: TallyCtx {
+                        protocol: &*self.protocol,
+                        deterministic: self.deterministic,
+                        lie: self.lie,
+                        states: self.counts.len(),
+                    },
+                    counts: &self.counts,
+                    n: self.n,
+                    tree: &self.tree,
+                    split_threshold,
+                    key,
+                };
+                run_subtree(
+                    &spec,
+                    subtree,
+                    a,
                     multiplicity,
-                    &self.counts,
-                    self.n,
-                    &mut responders,
+                    &mut self.scratch,
+                    &mut self.delta,
+                    &mut self.usage,
                 );
-                for &(b, m) in &responders {
-                    self.accumulate(a, b, m);
-                }
-                self.responders = responders;
             }
+            self.initiators = initiators;
         }
-        initiators.clear();
-        self.initiators = initiators;
 
         // Feasibility: within a collision-free batch every participant is
         // a distinct agent, so the gross usage of a state is bounded by
@@ -380,158 +474,35 @@ impl<P: TableProtocol> BatchSimulation<P> {
         true
     }
 
-    /// Fold one ordered pair `(a, b)` with multiplicity `m` into the
-    /// per-state delta and usage accumulators.
-    #[inline]
-    fn accumulate(&mut self, a: usize, b: usize, m: u64) {
-        match self.lie {
-            None => self.accumulate_honest(a, b, m),
-            Some((frac, forged)) => self.accumulate_byz(a, b, m, frac, forged),
+    /// Run the current attempt's subtrees on the worker pool: snapshot
+    /// the configuration into a [`TallyJob`], let `threads` claimants
+    /// (this thread included) drain it, and merge the per-subtree
+    /// accumulators in subtree order. Merging is plain summation, so the
+    /// result equals the inline loop exactly.
+    fn tally_pooled(&mut self, split_threshold: u64, key: u64) {
+        let workers = self.threads - 1;
+        if self.pool.is_none() {
+            self.pool = Some(TallyPool::new(workers));
         }
-    }
-
-    #[inline]
-    fn accumulate_honest(&mut self, a: usize, b: usize, m: u64) {
-        self.usage[a] += m;
-        self.usage[b] += m;
-        if self.deterministic {
-            let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
-            if (a2, b2) == (a, b) {
-                return;
-            }
-            let m = m as i64;
-            self.delta[a] -= m;
-            self.delta[b] -= m;
-            self.delta[a2] += m;
-            self.delta[b2] += m;
-        } else {
-            // Randomized transition: one coin-consuming evaluation per
-            // interaction (pair *sampling* stays batched).
-            for _ in 0..m {
-                let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
-                if (a2, b2) == (a, b) {
-                    continue;
-                }
-                self.delta[a] -= 1;
-                self.delta[b] -= 1;
-                self.delta[a2] += 1;
-                self.delta[b2] += 1;
-            }
-        }
-    }
-
-    /// Byzantine split of `m` interactions of the ordered pair `(a, b)`:
-    /// each participant independently lies with probability `frac`, so the
-    /// multiplicity decomposes into four binomial shares — both honest
-    /// (the normal transition), only `a` lies (only the responder's
-    /// transition is real, against the forged state), only `b` lies
-    /// (mirror), both lie (no-op). Per occupied pair this is `O(1)`
-    /// binomials plus `O(S)` for random forgeries, keeping the whole tally
-    /// `O(S²)`-bounded — the `n = 10⁸` path stays fast.
-    ///
-    /// Usage is charged to the *real* participants of every share
-    /// (liars still occupy their slot in the collision-free batch).
-    fn accumulate_byz(&mut self, a: usize, b: usize, m: u64, frac: f64, forged: LieTarget) {
-        self.usage[a] += m;
-        self.usage[b] += m;
-        let m_a_lies = binomial(&mut self.rng, m, frac);
-        let m_both = binomial(&mut self.rng, m_a_lies, frac);
-        let m_b_lies = binomial(&mut self.rng, m - m_a_lies, frac);
-        let m_honest = m - m_a_lies - m_b_lies;
-        // Honest share: the normal two-sided transition (usage is already
-        // charged above, so inline the delta accounting).
-        if m_honest > 0 {
-            if self.deterministic {
-                let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
-                if (a2, b2) != (a, b) {
-                    let m = m_honest as i64;
-                    self.delta[a] -= m;
-                    self.delta[b] -= m;
-                    self.delta[a2] += m;
-                    self.delta[b2] += m;
-                }
-            } else {
-                for _ in 0..m_honest {
-                    let (a2, b2) = self.protocol.delta(a, b, &mut self.rng);
-                    if (a2, b2) != (a, b) {
-                        self.delta[a] -= 1;
-                        self.delta[b] -= 1;
-                        self.delta[a2] += 1;
-                        self.delta[b2] += 1;
-                    }
-                }
-            }
-        }
-        // One-sided shares: the honest partner transitions against the
-        // forgery; the liar keeps its state. Both-lie share is a no-op.
-        self.one_sided(a, b, m_a_lies - m_both, forged, true);
-        self.one_sided(a, b, m_b_lies, forged, false);
-    }
-
-    /// `m` interactions where exactly one participant of the ordered pair
-    /// `(a, b)` lies: `a` when `a_lies`, else `b`. Random forgeries spread
-    /// the mass multinomially over the `S` uniform forged states; a
-    /// [`LieTarget::Pair`] (the polarizing split forgery) halves the mass
-    /// binomially between its two states.
-    fn one_sided(&mut self, a: usize, b: usize, m: u64, forged: LieTarget, a_lies: bool) {
-        if m == 0 {
-            return;
-        }
-        match forged {
-            LieTarget::Fixed(f) => self.one_sided_fixed(a, b, m, f, a_lies),
-            LieTarget::Random => {
-                let states = self.counts.len();
-                let uniform = vec![1u64; states];
-                let mut shares = Vec::new();
-                multinomial_into(&mut self.rng, m, &uniform, states as u64, &mut shares);
-                for (f, mf) in shares {
-                    self.one_sided_fixed(a, b, mf, f, a_lies);
-                }
-            }
-            LieTarget::Pair(x, y) => {
-                let mx = binomial(&mut self.rng, m, 0.5);
-                if mx > 0 {
-                    self.one_sided_fixed(a, b, mx, x, a_lies);
-                }
-                if m - mx > 0 {
-                    self.one_sided_fixed(a, b, m - mx, y, a_lies);
-                }
-            }
-        }
-    }
-
-    /// One-sided share with a fixed forged state `f`: only the honest
-    /// partner's half of the transition is applied.
-    fn one_sided_fixed(&mut self, a: usize, b: usize, m: u64, f: usize, a_lies: bool) {
-        if self.deterministic {
-            if a_lies {
-                let (_, b2) = self.protocol.delta(f, b, &mut self.rng);
-                if b2 != b {
-                    self.delta[b] -= m as i64;
-                    self.delta[b2] += m as i64;
-                }
-            } else {
-                let (a2, _) = self.protocol.delta(a, f, &mut self.rng);
-                if a2 != a {
-                    self.delta[a] -= m as i64;
-                    self.delta[a2] += m as i64;
-                }
-            }
-        } else {
-            for _ in 0..m {
-                if a_lies {
-                    let (_, b2) = self.protocol.delta(f, b, &mut self.rng);
-                    if b2 != b {
-                        self.delta[b] -= 1;
-                        self.delta[b2] += 1;
-                    }
-                } else {
-                    let (a2, _) = self.protocol.delta(a, f, &mut self.rng);
-                    if a2 != a {
-                        self.delta[a] -= 1;
-                        self.delta[a2] += 1;
-                    }
-                }
+        let job = TallyJob::new(
+            Arc::clone(&self.protocol),
+            self.deterministic,
+            self.lie,
+            self.counts.clone(),
+            self.n,
+            self.tree.clone(),
+            split_threshold,
+            key,
+            self.initiators.clone(),
+        );
+        let pool = self.pool.as_ref().expect("pool installed above");
+        let done = pool.run(job, &mut self.scratch);
+        let states = self.counts.len();
+        for out in done.outs.iter().take(done.subtrees.len()) {
+            let out = out.lock().expect("subtree slot poisoned");
+            for s in 0..states {
+                self.delta[s] += out.delta[s];
+                self.usage[s] += out.usage[s];
             }
         }
     }
@@ -660,7 +631,20 @@ impl<P: TableProtocol> BatchSimulation<P> {
                 &mut responders,
             );
             for &(b, m) in &responders {
-                self.accumulate(a, b, m);
+                tally::accumulate(
+                    &TallyCtx {
+                        protocol: &*self.protocol,
+                        deterministic: self.deterministic,
+                        lie: self.lie,
+                        states: self.counts.len(),
+                    },
+                    &mut self.rng,
+                    &mut self.delta,
+                    &mut self.usage,
+                    a,
+                    b,
+                    m,
+                );
             }
         }
 
@@ -704,7 +688,20 @@ impl<P: TableProtocol> BatchSimulation<P> {
                     );
                 }
                 for &(b, m) in &responders {
-                    self.accumulate(a, b, m);
+                    tally::accumulate(
+                        &TallyCtx {
+                            protocol: &*self.protocol,
+                            deterministic: self.deterministic,
+                            lie: self.lie,
+                            states: self.counts.len(),
+                        },
+                        &mut self.rng,
+                        &mut self.delta,
+                        &mut self.usage,
+                        a,
+                        b,
+                        m,
+                    );
                 }
             }
         }
@@ -867,13 +864,13 @@ impl<P: TableProtocol> BatchSimulation<P> {
                 records[k].output_after = Some(output);
             }
             strike_counts(
-                &self.protocol,
+                &*self.protocol,
                 &mut self.counts,
                 &initial,
                 &action,
                 &mut self.rng,
             );
-            self.tree = Fenwick::from_weights(&self.counts);
+            self.tree.rebuild(&self.counts, self.threads);
             records.push(FaultRecord {
                 at: self.parallel_time(),
                 hook: label,
@@ -1033,7 +1030,7 @@ impl<P: TableProtocol> BatchSimulation<P> {
             }
             self.n += joins;
         }
-        self.tree = Fenwick::from_weights(&self.counts);
+        self.tree.rebuild(&self.counts, self.threads);
     }
 
     /// The health sample `run_churned` records at each sampling mark.
@@ -1378,5 +1375,123 @@ pub(crate) mod tests {
             sim.step_batch();
         }
         assert_eq!(sim.batches(), 5);
+    }
+
+    /// Step `batches` batches at the given thread count and return the
+    /// observable trajectory endpoint: counts, RNG state, clock, batches.
+    fn trajectory<P: TableProtocol>(
+        protocol: P,
+        counts: Vec<u64>,
+        seed: u64,
+        threads: usize,
+        batches: u64,
+    ) -> (Vec<u64>, [u64; 4], f64, u64) {
+        let mut sim = BatchSimulation::new(protocol, counts, seed);
+        sim.set_threads(threads);
+        for _ in 0..batches {
+            sim.step_batch();
+        }
+        (
+            sim.counts().to_vec(),
+            sim.rng_state(),
+            sim.parallel_time(),
+            sim.batches(),
+        )
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_trajectory() {
+        // n large enough that batch lengths (ℓ ≈ 0.627·√n ≈ 1250) cross
+        // PARALLEL_CUTOFF, so threads > 1 actually takes the pooled path.
+        let n = 4_000_000u64;
+        let counts = vec![0u64, n / 2 + 120_000, n / 2 - 120_000];
+        let want = trajectory(Am3, counts.clone(), 23, 1, 60);
+        for threads in [2usize, 8] {
+            let got = trajectory(Am3, counts.clone(), 23, threads, 60);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_invariance_holds_for_randomized_tables() {
+        // CoinClash consumes per-interaction randomness inside the
+        // subtree kernels — the stress case for substream assignment.
+        let n = 4_000_000u64;
+        let counts = vec![n / 2 + 40_000, n / 2 - 40_000];
+        let want = trajectory(CoinClash, counts.clone(), 31, 1, 40);
+        for threads in [2usize, 8] {
+            let got = trajectory(CoinClash, counts.clone(), 31, threads, 40);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_invariance_holds_under_an_adversary() {
+        // The Byzantine split runs as array passes inside each subtree;
+        // the forged-opinion resolution happens once per batch on the
+        // main stream, so it too must be thread-invariant.
+        let n = 4_000_000u64;
+        let counts = vec![0u64, n / 2 + 80_000, n / 2 - 80_000];
+        let run = |threads: usize| {
+            let mut sim = BatchSimulation::new(Am3, counts.clone(), 41);
+            sim.set_adversary(Arc::new(crate::fault::ByzantineAdversary {
+                frac: 0.05,
+                opinion: Some(2),
+            }));
+            sim.set_threads(threads);
+            for _ in 0..40 {
+                sim.step_batch();
+            }
+            (sim.counts().to_vec(), sim.rng_state())
+        };
+        let want = run(1);
+        for threads in [2usize, 8] {
+            assert_eq!(run(threads), want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn changing_threads_mid_run_does_not_disturb_the_stream() {
+        // set_threads is pure scheduling: flipping it between batches
+        // must leave the trajectory on the single-thread rail.
+        let n = 4_000_000u64;
+        let counts = vec![0u64, n / 2 + 50_000, n / 2 - 50_000];
+        let want = trajectory(Am3, counts.clone(), 53, 1, 30);
+        let mut sim = BatchSimulation::new(Am3, counts, 53);
+        for i in 0..30u64 {
+            sim.set_threads(if i % 3 == 0 { 1 } else { 4 } as usize);
+            sim.step_batch();
+        }
+        assert_eq!(
+            (
+                sim.counts().to_vec(),
+                sim.rng_state(),
+                sim.parallel_time(),
+                sim.batches()
+            ),
+            want
+        );
+    }
+
+    #[test]
+    fn ten_billion_agents_conserve_population() {
+        // n = 10^10 exceeds u32 and any dense-agent representation; the
+        // configuration-space engine must hold it in O(S) memory with no
+        // intermediate overflow. Batch lengths run ≈ 62 670 here.
+        let n = 10_000_000_000u64;
+        let mut sim = BatchSimulation::new(Am3, vec![0, 5_500_000_000, 4_500_000_000], 71);
+        sim.set_threads(2); // exercise the pooled path at scale too
+        for _ in 0..50 {
+            sim.step_batch();
+            assert_eq!(sim.counts().iter().sum::<u64>(), n);
+        }
+        assert!(
+            sim.interactions() > 1_000_000,
+            "3-state clash makes progress"
+        );
+        // The majority dynamics pull mass toward opinion 1's blank state
+        // path; verify both opinions still hold u32-overflowing counts.
+        assert!(sim.counts()[1] > u32::MAX as u64);
+        assert!(sim.counts()[2] > u32::MAX as u64);
     }
 }

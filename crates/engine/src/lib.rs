@@ -105,7 +105,9 @@ pub mod segment;
 pub mod sim;
 pub mod table_seq;
 
-pub use batch::{BatchSimulation, Fenwick, PairwiseBatchSimulation, TableProtocol};
+pub use batch::{
+    BatchSimulation, Fenwick, PairwiseBatchSimulation, ShardedFenwick, StateSampler, TableProtocol,
+};
 pub use census::Census;
 pub use checkpoint::Checkpoint;
 pub use churn::ChurnProcess;
